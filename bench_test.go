@@ -1,0 +1,708 @@
+// Benchmark harness regenerating the experiments of DESIGN.md §3
+// (B1–B8). The CIDR 2011 paper is a vision paper with no measured
+// tables; each bench quantifies a mechanism or trade-off the paper
+// asserts qualitatively. EXPERIMENTS.md records the claims next to the
+// numbers these benches produce. Custom metrics are attached via
+// b.ReportMetric, so `go test -bench=. -benchmem` prints the full rows.
+package provpriv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"provpriv/internal/dp"
+	"provpriv/internal/exec"
+	"provpriv/internal/graph"
+	"provpriv/internal/index"
+	"provpriv/internal/modpriv"
+	"provpriv/internal/privacy"
+	"provpriv/internal/query"
+	"provpriv/internal/rank"
+	"provpriv/internal/repo"
+	"provpriv/internal/sim"
+	"provpriv/internal/structpriv"
+	"provpriv/internal/workflow"
+	"provpriv/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// B1 — Module privacy: secure-view cost vs Γ; exact vs greedy solver.
+// Paper claim (Sec. 3): choosing which data to hide is "an interesting
+// optimization problem"; more privacy (larger Γ) must cost more utility.
+
+func benchRelation(b *testing.B, nIn, nOut, k int, seed int64) *modpriv.Relation {
+	b.Helper()
+	var ins, outs []string
+	for i := 0; i < nIn; i++ {
+		ins = append(ins, fmt.Sprintf("i%d", i))
+	}
+	for i := 0; i < nOut; i++ {
+		outs = append(outs, fmt.Sprintf("o%d", i))
+	}
+	dom := workload.KDomain(k, append(append([]string{}, ins...), outs...)...)
+	fn := workload.RandomTableFunc(seed, outs, dom)
+	rel, err := modpriv.Enumerate("m", fn, ins, outs, dom)
+	if err != nil {
+		b.Fatalf("enumerate: %v", err)
+	}
+	return rel
+}
+
+func BenchmarkModulePrivacy(b *testing.B) {
+	for _, cfg := range []struct {
+		nIn, nOut, k int
+	}{
+		{2, 2, 3}, // 4 attrs, 9 rows
+		{3, 3, 3}, // 6 attrs, 27 rows
+		{4, 4, 2}, // 8 attrs, 16 rows
+	} {
+		rel := benchRelation(b, cfg.nIn, cfg.nOut, cfg.k, 7)
+		for _, gamma := range []int{2, 4, 8} {
+			if rel.MaxLevel() < gamma {
+				continue
+			}
+			name := fmt.Sprintf("attrs=%d/gamma=%d", cfg.nIn+cfg.nOut, gamma)
+			b.Run(name+"/exact", func(b *testing.B) {
+				var cost float64
+				for i := 0; i < b.N; i++ {
+					sv, err := modpriv.ExhaustiveSecureView(rel, gamma, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cost = sv.Cost
+				}
+				b.ReportMetric(cost, "hidden-cost")
+			})
+			b.Run(name+"/greedy", func(b *testing.B) {
+				var cost float64
+				for i := 0; i < b.N; i++ {
+					sv, err := modpriv.GreedySecureView(rel, gamma, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cost = sv.Cost
+				}
+				ex, _ := modpriv.ExhaustiveSecureView(rel, gamma, nil)
+				b.ReportMetric(cost, "hidden-cost")
+				if ex != nil && ex.Cost > 0 {
+					b.ReportMetric(cost/ex.Cost, "vs-optimal")
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B2 — Structural privacy: cut vs cluster on growing DAGs.
+// Paper claim (Sec. 3): cutting hides extra true provenance; clustering
+// risks unsound views; both are "challenging optimization problems".
+
+func BenchmarkStructural(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := workload.LayeredDAG(rng, n/10, 10, 3)
+		// A hidden pair guaranteed connected: pick via closure.
+		cl, err := graph.NewClosure(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pair structpriv.Pair
+		found := false
+		for u := 0; u < g.N() && !found; u++ {
+			for v := g.N() - 1; v > u+10; v-- {
+				if cl.Reach(graph.NodeID(u), graph.NodeID(v)) && !g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+					pair = structpriv.Pair{From: g.Name(graph.NodeID(u)), To: g.Name(graph.NodeID(v))}
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			b.Fatalf("n=%d: no connected pair", n)
+		}
+		b.Run(fmt.Sprintf("n=%d/cut", n), func(b *testing.B) {
+			var lost int
+			for i := 0; i < b.N; i++ {
+				res, err := structpriv.HidePairs(g, []structpriv.Pair{pair}, structpriv.CutEdges, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lost = res.Metrics.LostPairs
+			}
+			b.ReportMetric(float64(lost), "lost-pairs")
+			b.ReportMetric(0, "extraneous")
+		})
+		b.Run(fmt.Sprintf("n=%d/cluster", n), func(b *testing.B) {
+			var extraneous, lost int
+			for i := 0; i < b.N; i++ {
+				res, err := structpriv.HidePairs(g, []structpriv.Pair{pair}, structpriv.Cluster, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				extraneous = res.Metrics.ExtraneousPairs
+				lost = res.Metrics.LostPairs
+			}
+			b.ReportMetric(float64(lost), "lost-pairs")
+			b.ReportMetric(float64(extraneous), "extraneous")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B3 — Privacy-aware query evaluation overhead vs oblivious evaluation.
+// Paper claim (Sec. 4): "the information must be hidden on-the-fly,
+// which usually leads to processing overhead."
+
+func diseaseFixture(b *testing.B) (*workflow.Spec, *exec.Execution, *privacy.Policy) {
+	b.Helper()
+	spec := workflow.DiseaseSusceptibility()
+	e, err := exec.NewRunner(spec, nil).Run("E1", map[string]exec.Value{
+		"snps": "rs1", "ethnicity": "eth1", "lifestyle": "active",
+		"family_history": "fh1", "symptoms": "none",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := privacy.NewPolicy(spec.ID)
+	pol.DataLevels["snps"] = privacy.Owner
+	pol.ViewGrants[privacy.Registered] = []string{"W2", "W3", "W4"}
+	return spec, e, pol
+}
+
+func BenchmarkQueryPrivacyOverhead(b *testing.B) {
+	spec, e, pol := diseaseFixture(b)
+	ev := query.NewEvaluator(spec)
+	q, err := query.Parse(`MATCH a = "expand snp", b = "query omim" WHERE a ~> b RETURN provenance(b)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("oblivious", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Evaluate(q, e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("privacy-aware", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.EvaluateWithPrivacy(q, e, pol, privacy.Registered); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// B4 — Privacy-classified index vs per-query policy filtering.
+// Paper claim (Sec. 4): indexes must serve "different user views";
+// one classified index should beat re-checking policies per query.
+
+func synthRepoFixture(b *testing.B, nSpecs int) ([]*workflow.Spec, map[string]*privacy.Policy) {
+	b.Helper()
+	var specs []*workflow.Spec
+	pols := make(map[string]*privacy.Policy)
+	for i := 0; i < nSpecs; i++ {
+		s, err := workload.RandomSpec(workload.SpecConfig{
+			Seed: int64(i), ID: fmt.Sprintf("s%d", i), Depth: 3, Fanout: 2, Chain: 4, SkipProb: 0.2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol := privacy.NewPolicy(s.ID)
+		// Mark every third module Analyst-only.
+		k := 0
+		for _, wid := range s.WorkflowIDs() {
+			for _, m := range s.Workflows[wid].Modules {
+				if m.Kind == workflow.Atomic && k%3 == 0 {
+					pol.ModuleLevels[m.ID] = privacy.Analyst
+				}
+				k++
+			}
+		}
+		specs = append(specs, s)
+		pols[s.ID] = pol
+	}
+	return specs, pols
+}
+
+func BenchmarkIndexVsFilter(b *testing.B) {
+	specs, pols := synthRepoFixture(b, 30)
+	ix := index.BuildInverted(specs, pols)
+	terms := []string{"query", "database", "snp", "filter", "merge"}
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range terms {
+				ix.Lookup(t, privacy.Registered)
+			}
+		}
+	})
+	b.Run("naive-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range terms {
+				index.NaiveLookup(specs, pols, t, privacy.Registered)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// B5 — Zoom-out cost: building coarser execution views level by level.
+// Paper claim (Sec. 4): "each zoom-out may involve a disk access" —
+// i.e. repeated view construction is the cost driver; we measure the
+// in-memory collapse cost per hierarchy depth.
+
+func BenchmarkZoomOut(b *testing.B) {
+	for _, depth := range []int{2, 3, 4} {
+		s, err := workload.RandomSpec(workload.SpecConfig{
+			Seed: 5, ID: fmt.Sprintf("zo-%d", depth), Depth: depth, Fanout: 2, Chain: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := exec.NewRunner(s, nil).Run("E", workload.RandomInputs(s, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := workflow.NewHierarchy(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Zoom-out sequence: full prefix shrinking to {root}.
+		var prefixes []workflow.Prefix
+		cur := workflow.FullPrefix(h)
+		prefixes = append(prefixes, cur)
+		all := h.All()
+		for i := len(all) - 1; i > 0; i-- {
+			next := make(workflow.Prefix)
+			for k := range cur {
+				next[k] = true
+			}
+			delete(next, all[i])
+			// Keep it a valid prefix (children first in reverse-BFS).
+			if next.Validate(h) == nil {
+				prefixes = append(prefixes, next)
+				cur = next
+			}
+		}
+		b.Run(fmt.Sprintf("depth=%d/levels=%d", depth, len(prefixes)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range prefixes {
+					if _, err := exec.Collapse(e, s, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(e.Nodes)), "exec-nodes")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B6 — Ranking leakage: exact scores invert to hidden term counts;
+// bucketing trades leakage for rank quality.
+// Paper claim (Sec. 4): "a user might be able to infer the range of
+// value occurrences in a result" from rankings.
+
+func BenchmarkRankingLeakage(b *testing.B) {
+	full := rank.NewCorpus()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		var terms []string
+		for j := 0; j < 1+rng.Intn(20); j++ {
+			terms = append(terms, "database")
+		}
+		terms = append(terms, fmt.Sprintf("filler%d", i))
+		full.Add(fmt.Sprintf("doc%02d", i), terms)
+	}
+	queryTerms := []string{"database"}
+	for _, buckets := range []int{0, 8, 3} {
+		name := "exact"
+		if buckets > 0 {
+			name = fmt.Sprintf("buckets=%d", buckets)
+		}
+		b.Run(name, func(b *testing.B) {
+			var published []rank.Ranked
+			for i := 0; i < b.N; i++ {
+				published = full.Rank(queryTerms)
+				if buckets > 0 {
+					published = rank.Bucketize(published, buckets)
+				}
+			}
+			rep := rank.FrequencyAttack(full, published, "database")
+			exactRank := full.Rank(queryTerms)
+			b.ReportMetric(float64(rep.ExactHits)/float64(rep.Docs), "attack-recovery")
+			b.ReportMetric(rank.KendallTau(exactRank, published), "kendall-tau")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B7 — Differential privacy destroys provenance reproducibility.
+// Paper claim (Sec. 5): "adding random noise to provenance information
+// may render it useless" for reproducibility.
+
+func BenchmarkDPProvenance(b *testing.B) {
+	_, e, _ := diseaseFixture(b)
+	var disorders string
+	for id, it := range e.Items {
+		if it.Attr == "disorders" {
+			disorders = id
+		}
+	}
+	q := dp.ProvenanceSize(disorders)
+	for _, eps := range []float64{0.1, 1, 10} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			var rep dp.ReproReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = dp.MeasureReproducibility(q, e, eps, 100, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.WrongFrac, "wrong-frac")
+			b.ReportMetric(rep.MeanAbsErr, "mean-abs-err")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B8 — Access views: on-the-fly view construction cost by prefix size
+// (the alternative to materializing one repository per level), plus the
+// reachability-index ablation (closure vs interval index).
+
+func BenchmarkViewConstruction(b *testing.B) {
+	s := workflow.DiseaseSusceptibility()
+	h, _ := workflow.NewHierarchy(s)
+	for _, p := range workflow.Prefixes(h) {
+		name := fmt.Sprintf("prefix=%d", len(p))
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := workflow.Expand(s, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReachabilityAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := workload.LayeredDAG(rng, 20, 10, 3)
+	queries := make([][2]graph.NodeID, 200)
+	for i := range queries {
+		queries[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(g.N())), graph.NodeID(rng.Intn(g.N()))}
+	}
+	b.Run("closure-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.NewClosure(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interval-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.NewIntervalIndex(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cl, _ := graph.NewClosure(g)
+	ix, _ := graph.NewIntervalIndex(g)
+	b.Run("closure-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			cl.Reach(q[0], q[1])
+		}
+	})
+	b.Run("interval-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			ix.Reach(q[0], q[1])
+		}
+	})
+	b.Run("dfs-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			g.Reachable(q[0], q[1])
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end repository search bench (supports B3/B4 at system level).
+
+func BenchmarkRepositorySearch(b *testing.B) {
+	r := repo.New()
+	specs, pols := synthRepoFixture(b, 10)
+	for _, s := range specs {
+		if err := r.AddSpec(s, pols[s.ID]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r.AddUser(privacy.User{Name: "u", Level: privacy.Registered, Group: "g"})
+	rng := rand.New(rand.NewSource(1))
+	queries := workload.RandomQueries(rng, nil, 20)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = r.Search("u", queries[i%len(queries)], repo.SearchOptions{BypassCache: true})
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = r.Search("u", queries[i%len(queries)], repo.SearchOptions{})
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// B9 — Materialized privacy views vs on-the-fly collapse (Sec. 4's
+// "materialized views" direction vs its "hidden on-the-fly" default).
+
+func BenchmarkMaterializedViews(b *testing.B) {
+	build := func(materialize bool) (*repo.Repository, string) {
+		r := repo.New()
+		spec := workflow.DiseaseSusceptibility()
+		pol := privacy.NewPolicy(spec.ID)
+		pol.DataLevels["snps"] = privacy.Owner
+		pol.ViewGrants[privacy.Registered] = []string{"W2"}
+		if err := r.AddSpec(spec, pol); err != nil {
+			b.Fatal(err)
+		}
+		if materialize {
+			if err := r.EnableMaterialization([]privacy.Level{privacy.Public, privacy.Registered}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e, err := exec.NewRunner(spec, nil).Run("E1", map[string]exec.Value{
+			"snps": "rs1", "ethnicity": "e", "lifestyle": "l",
+			"family_history": "f", "symptoms": "s",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			b.Fatal(err)
+		}
+		r.AddUser(privacy.User{Name: "u", Level: privacy.Registered, Group: "g"})
+		var progID string
+		for id, it := range e.Items {
+			if it.Attr == "prognosis" {
+				progID = id
+			}
+		}
+		return r, progID
+	}
+	r1, item1 := build(false)
+	b.Run("on-the-fly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r1.Provenance("u", "disease-susceptibility", "E1", item1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	r2, item2 := build(true)
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r2.Provenance("u", "disease-susceptibility", "E1", item2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// B6 ablation extension: Laplace-perturbed scores vs bucketing — same
+// leakage question, but perturbation sacrifices reproducibility.
+func BenchmarkRankingPerturbed(b *testing.B) {
+	full := rank.NewCorpus()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		var terms []string
+		for j := 0; j < 1+rng.Intn(20); j++ {
+			terms = append(terms, "database")
+		}
+		full.Add(fmt.Sprintf("doc%02d", i), terms)
+	}
+	exact := full.Rank([]string{"database"})
+	for _, scale := range []float64{0.5, 2} {
+		b.Run(fmt.Sprintf("laplace=%g", scale), func(b *testing.B) {
+			var published []rank.Ranked
+			for i := 0; i < b.N; i++ {
+				published = rank.Perturb(exact, scale, int64(i))
+			}
+			rep := rank.FrequencyAttack(full, published, "database")
+			b.ReportMetric(float64(rep.ExactHits)/float64(rep.Docs), "attack-recovery")
+			b.ReportMetric(rank.KendallTau(exact, published), "kendall-tau")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B10 — The repeated-execution threat (Sec. 3's motivation for module
+// privacy): how much of a module's function leaks as executions
+// accumulate, with and without a secure view.
+
+func BenchmarkReconstructionAttack(b *testing.B) {
+	rel := benchRelation(b, 2, 2, 4, 11) // 16-row domain
+	sv, err := modpriv.GreedySecureView(rel, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var pool []map[string]exec.Value
+	for _, r := range rel.Rows {
+		pool = append(pool, r.In)
+	}
+	for _, nExec := range []int{4, 16, 64} {
+		obs := make([]map[string]exec.Value, nExec)
+		for i := range obs {
+			obs[i] = pool[rng.Intn(len(pool))]
+		}
+		b.Run(fmt.Sprintf("execs=%d/no-hiding", nExec), func(b *testing.B) {
+			var st modpriv.AttackStats
+			for i := 0; i < b.N; i++ {
+				st = modpriv.ReconstructionAttack(rel, obs, modpriv.NewHidden())
+			}
+			b.ReportMetric(st.Coverage(), "recovered-frac")
+		})
+		b.Run(fmt.Sprintf("execs=%d/secure-view", nExec), func(b *testing.B) {
+			var st modpriv.AttackStats
+			for i := 0; i < b.N; i++ {
+				st = modpriv.ReconstructionAttack(rel, obs, sv.Hidden)
+			}
+			b.ReportMetric(st.Coverage(), "recovered-frac")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Structural-privacy optimizer: cost of trying all strategies (the
+// paper's "challenging optimization problem") vs a single fixed one.
+
+func BenchmarkStructuralOptimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	g := workload.LayeredDAG(rng, 10, 8, 3)
+	cl, err := graph.NewClosure(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pair structpriv.Pair
+	for u := 0; u < g.N(); u++ {
+		for v := g.N() - 1; v > u+8; v-- {
+			if cl.Reach(graph.NodeID(u), graph.NodeID(v)) && !g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				pair = structpriv.Pair{From: g.Name(graph.NodeID(u)), To: g.Name(graph.NodeID(v))}
+				u = g.N()
+				break
+			}
+		}
+	}
+	b.Run("single-cut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := structpriv.HidePairs(g, []structpriv.Pair{pair}, structpriv.CutEdges, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimize-all", func(b *testing.B) {
+		var score float64
+		for i := 0; i < b.N; i++ {
+			best, _, err := structpriv.Optimize(g, []structpriv.Pair{pair}, structpriv.OptimizeOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			score = best.Metrics.UtilityScore()
+		}
+		b.ReportMetric(score, "best-utility")
+	})
+	b.Run("optimize-sound", func(b *testing.B) {
+		var score float64
+		for i := 0; i < b.N; i++ {
+			best, _, err := structpriv.Optimize(g, []structpriv.Pair{pair}, structpriv.OptimizeOptions{RequireSound: true})
+			if err != nil {
+				b.Skip("no sound solution on this instance")
+			}
+			score = best.Metrics.UtilityScore()
+		}
+		b.ReportMetric(score, "best-utility")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Chain-aware module privacy: the cost of defending against the
+// downstream-oracle adversary vs standalone analysis.
+
+func BenchmarkChainSecureView(b *testing.B) {
+	dom := workload.KDomain(3, "a", "b", "y", "z", "w")
+	relFn := workload.RandomTableFunc(3, []string{"y", "z"}, dom)
+	rel, err := modpriv.Enumerate("m", relFn, []string{"a", "b"}, []string{"y", "z"}, dom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	downFn := workload.RandomTableFunc(4, []string{"w"}, dom)
+	down, err := modpriv.Enumerate("d", downFn, []string{"y", "z"}, []string{"w"}, dom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("standalone-greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := modpriv.GreedySecureView(rel, 3, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("chain-greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := modpriv.GreedyChainSecureView(rel, []*modpriv.Relation{down}, 3, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("chain-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := modpriv.ExhaustiveChainSecureView(rel, []*modpriv.Relation{down}, 3, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// System-level simulation: mixed workload throughput with the built-in
+// leak checker active (internal/sim).
+
+func BenchmarkSimulation(b *testing.B) {
+	r := repo.New()
+	specs, pols := synthRepoFixture(b, 5)
+	for _, s := range specs {
+		if err := r.AddSpec(s, pols[s.ID]); err != nil {
+			b.Fatal(err)
+		}
+		e, err := exec.NewRunner(s, nil).Run(s.ID+"-E0", workload.RandomInputs(s, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	users := []privacy.User{
+		{Name: "b0", Level: privacy.Public, Group: "g0"},
+		{Name: "b1", Level: privacy.Registered, Group: "g1"},
+		{Name: "b2", Level: privacy.Owner, Group: "g2"},
+	}
+	for _, u := range users {
+		r.AddUser(u)
+	}
+	b.ResetTimer()
+	var leaks int
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(r, sim.Config{Seed: int64(i), Ops: 100, Users: users})
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaks += res.LeakIncidents
+	}
+	b.ReportMetric(float64(leaks), "leaks")
+	b.ReportMetric(100, "ops/iter")
+}

@@ -1,0 +1,122 @@
+// Command provgen generates a synthetic provenance-aware workflow
+// repository on disk: workflow specifications (JSON), executions (JSON)
+// and a manifest. It substitutes for the public scientific-workflow
+// repositories the paper assumes.
+//
+//	provgen -out ./data -specs 5 -execs 3 -depth 3 -fanout 2 -chain 4 -seed 1
+//
+// The generated directory can be loaded by provsearch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/workflow"
+	"provpriv/internal/workload"
+)
+
+// Manifest lists the files of a generated repository.
+type Manifest struct {
+	Specs      []string `json:"specs"`
+	Policies   []string `json:"policies,omitempty"`
+	Executions []string `json:"executions"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("provgen: ")
+	out := flag.String("out", "provdata", "output directory")
+	nSpecs := flag.Int("specs", 5, "number of specifications")
+	nExecs := flag.Int("execs", 3, "executions per specification")
+	depth := flag.Int("depth", 3, "expansion-hierarchy depth")
+	fanout := flag.Int("fanout", 2, "composite modules per workflow")
+	chain := flag.Int("chain", 4, "modules per workflow chain")
+	skip := flag.Float64("skip", 0.3, "skip-edge probability")
+	seed := flag.Int64("seed", 1, "random seed")
+	withPolicies := flag.Bool("policies", true, "generate a random privacy policy per spec")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("mkdir: %v", err)
+	}
+	var man Manifest
+	for i := 0; i < *nSpecs; i++ {
+		cfg := workload.SpecConfig{
+			Seed:     *seed + int64(i),
+			ID:       fmt.Sprintf("synth-%d", i),
+			Depth:    *depth,
+			Fanout:   *fanout,
+			Chain:    *chain,
+			SkipProb: *skip,
+		}
+		spec, err := workload.RandomSpec(cfg)
+		if err != nil {
+			log.Fatalf("generate spec %d: %v", i, err)
+		}
+		specPath := fmt.Sprintf("spec-%d.json", i)
+		if err := writeJSONFile(filepath.Join(*out, specPath), func(f *os.File) error {
+			return workflow.WriteSpec(f, spec)
+		}); err != nil {
+			log.Fatalf("write %s: %v", specPath, err)
+		}
+		man.Specs = append(man.Specs, specPath)
+
+		if *withPolicies {
+			pol, err := workload.RandomPolicy(spec, *seed+int64(i))
+			if err != nil {
+				log.Fatalf("generate policy %d: %v", i, err)
+			}
+			polData, err := json.MarshalIndent(pol, "", "  ")
+			if err != nil {
+				log.Fatalf("encode policy %d: %v", i, err)
+			}
+			polPath := fmt.Sprintf("policy-%d.json", i)
+			if err := os.WriteFile(filepath.Join(*out, polPath), polData, 0o644); err != nil {
+				log.Fatalf("write %s: %v", polPath, err)
+			}
+			man.Policies = append(man.Policies, polPath)
+		}
+
+		runner := exec.NewRunner(spec, nil)
+		for j := 0; j < *nExecs; j++ {
+			e, err := runner.Run(fmt.Sprintf("%s-E%d", spec.ID, j),
+				workload.RandomInputs(spec, *seed+int64(i*1000+j)))
+			if err != nil {
+				log.Fatalf("execute %s run %d: %v", spec.ID, j, err)
+			}
+			execPath := fmt.Sprintf("exec-%d-%d.json", i, j)
+			if err := writeJSONFile(filepath.Join(*out, execPath), func(f *os.File) error {
+				return exec.WriteExecution(f, e)
+			}); err != nil {
+				log.Fatalf("write %s: %v", execPath, err)
+			}
+			man.Executions = append(man.Executions, execPath)
+		}
+	}
+	manData, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		log.Fatalf("manifest: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "manifest.json"), manData, 0o644); err != nil {
+		log.Fatalf("write manifest: %v", err)
+	}
+	fmt.Printf("wrote %d specs, %d executions to %s\n", len(man.Specs), len(man.Executions), *out)
+}
+
+func writeJSONFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

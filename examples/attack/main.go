@@ -1,0 +1,70 @@
+// The repeated-execution attack of Section 3: "if information about all
+// intermediate data is repeatedly given for multiple executions of a
+// workflow on different initial inputs, then partial or complete
+// functionality of modules may be revealed." We play the competitor who
+// harvests provenance graphs to simulate a proprietary module, first
+// against an unprotected repository, then against one that publishes a
+// Γ-private secure view.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"provpriv"
+	"provpriv/internal/modpriv"
+)
+
+func main() {
+	log.SetFlags(0)
+	// The proprietary module: maps (snp_class, eth_class) to a disorder
+	// class — the paper's M1, shrunk to a 4x4 domain.
+	fn := func(in map[string]provpriv.Value) map[string]provpriv.Value {
+		s := int(in["snp_class"][1] - '0')
+		e := int(in["eth_class"][1] - '0')
+		return map[string]provpriv.Value{
+			"disorder_class": provpriv.Value(fmt.Sprintf("v%d", (3*s+e)%4)),
+		}
+	}
+	dom := provpriv.Domain{}
+	for _, a := range []string{"snp_class", "eth_class", "disorder_class"} {
+		dom[a] = []provpriv.Value{"v0", "v1", "v2", "v3"}
+	}
+	rel, err := provpriv.EnumerateRelation("M1", fn,
+		[]string{"snp_class", "eth_class"}, []string{"disorder_class"}, dom)
+	if err != nil {
+		log.Fatalf("enumerate: %v", err)
+	}
+
+	// The repository accumulates executions on random patient inputs.
+	rng := rand.New(rand.NewSource(4))
+	randomInput := func() map[string]provpriv.Value {
+		return map[string]provpriv.Value{
+			"snp_class": provpriv.Value(fmt.Sprintf("v%d", rng.Intn(4))),
+			"eth_class": provpriv.Value(fmt.Sprintf("v%d", rng.Intn(4))),
+		}
+	}
+
+	sv, err := provpriv.GreedySecureView(rel, 4, provpriv.Weights{
+		"snp_class": 1, "eth_class": 1, "disorder_class": 3,
+	})
+	if err != nil {
+		log.Fatalf("secure view: %v", err)
+	}
+	fmt.Printf("module domain: 16 inputs; secure view hides %s (certified Γ=%d)\n\n", sv.Hidden, sv.Level)
+
+	fmt.Println("executions  recovered (no hiding)  recovered (secure view)")
+	for _, n := range []int{2, 8, 32, 128} {
+		var obs []map[string]provpriv.Value
+		for i := 0; i < n; i++ {
+			obs = append(obs, randomInput())
+		}
+		open := modpriv.ReconstructionAttack(rel, obs, modpriv.NewHidden())
+		protected := modpriv.ReconstructionAttack(rel, obs, sv.Hidden)
+		fmt.Printf("%10d  %9d/16 (%.0f%%)      %9d/16 (%.0f%%)\n",
+			n, open.Recovered, 100*open.Coverage(), protected.Recovered, 100*protected.Coverage())
+	}
+	fmt.Println("\nwith enough provenance the competitor simulates the module exactly;")
+	fmt.Println("the Γ-private view leaves every input with ≥4 possible outputs forever.")
+}

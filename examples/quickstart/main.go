@@ -1,0 +1,92 @@
+// Quickstart: build a small workflow with the fluent builder, execute
+// it, and query provenance at two different access levels — the
+// "integrate privacy into the engine, not into copies of the
+// repository" workflow from the README.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"provpriv"
+)
+
+func main() {
+	log.SetFlags(0)
+	// A two-stage pipeline with a composite second stage.
+	spec, err := provpriv.NewBuilder("pipeline", "Demo Pipeline", "R").
+		Workflow("R", "Root").
+		Source("I", "raw").
+		Atomic("clean", "Clean Data", []string{"raw"}, []string{"cleaned"}).
+		Composite("analyze", "Analyze Cohort", "S", []string{"cleaned"}, []string{"report"}).
+		Sink("O", "report").
+		Edge("I", "clean", "raw").
+		Edge("clean", "analyze", "cleaned").
+		Edge("analyze", "O", "report").
+		Workflow("S", "Analysis").
+		Atomic("stats", "Compute Statistics", []string{"cleaned"}, []string{"stats"}).
+		Atomic("render", "Render Report", []string{"stats"}, []string{"report"}).
+		Edge("stats", "render", "stats").
+		Build()
+	if err != nil {
+		log.Fatalf("build spec: %v", err)
+	}
+
+	// Policy: raw data is owner-only; the analysis internals are visible
+	// only from level Registered upward.
+	pol := provpriv.NewPolicy(spec.ID)
+	pol.DataLevels["raw"] = provpriv.Owner
+	pol.ViewGrants[provpriv.Registered] = []string{"S"}
+
+	r := provpriv.NewRepository()
+	if err := r.AddSpec(spec, pol); err != nil {
+		log.Fatalf("add spec: %v", err)
+	}
+	e, err := provpriv.NewRunner(spec, nil).Run("run-1", map[string]provpriv.Value{"raw": "patient records"})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	if err := r.AddExecution(e); err != nil {
+		log.Fatalf("add execution: %v", err)
+	}
+	r.AddUser(provpriv.User{Name: "owner", Level: provpriv.Owner, Group: "owners"})
+	r.AddUser(provpriv.User{Name: "guest", Level: provpriv.Public, Group: "guests"})
+
+	// Find the final report item.
+	var reportID string
+	for _, id := range e.ItemIDs() {
+		if e.Items[id].Attr == "report" {
+			reportID = id
+		}
+	}
+
+	fmt.Println("== owner's provenance of the report ==")
+	provOwner, err := r.Provenance("owner", spec.ID, "run-1", reportID)
+	if err != nil {
+		log.Fatalf("owner provenance: %v", err)
+	}
+	fmt.Print(provOwner.ASCII())
+	fmt.Println("raw value visible to owner:", itemValue(provOwner, "raw"))
+
+	fmt.Println("\n== guest's provenance of the report ==")
+	provGuest, err := r.Provenance("guest", spec.ID, "run-1", reportID)
+	if err != nil {
+		log.Fatalf("guest provenance: %v", err)
+	}
+	fmt.Print(provGuest.ASCII())
+	fmt.Println("raw value visible to guest:", itemValue(provGuest, "raw"))
+	fmt.Println("(the analysis internals are collapsed and raw data masked)")
+}
+
+func itemValue(e *provpriv.Execution, attr string) string {
+	for _, id := range e.ItemIDs() {
+		it := e.Items[id]
+		if it.Attr == attr {
+			if it.Redacted {
+				return "<redacted>"
+			}
+			return string(it.Value)
+		}
+	}
+	return "<not visible>"
+}

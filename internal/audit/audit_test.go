@@ -1,0 +1,145 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"provpriv/internal/privacy"
+	"provpriv/internal/workflow"
+)
+
+func examplePolicy(t *testing.T) (*workflow.Spec, *privacy.Policy) {
+	t.Helper()
+	spec := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(spec.ID)
+	pol.DataLevels["snps"] = privacy.Owner
+	pol.DataLevels["disorders"] = privacy.Analyst
+	pol.ModuleLevels["M6"] = privacy.Owner
+	pol.ModuleGamma["M1"] = 4
+	pol.Structural = []privacy.HiddenPair{{From: "M13", To: "M11", Level: privacy.Owner}}
+	pol.ViewGrants[privacy.Registered] = []string{"W2"}
+	pol.ViewGrants[privacy.Analyst] = []string{"W3", "W4"}
+	return spec, pol
+}
+
+func TestRunProducesFullReport(t *testing.T) {
+	spec, pol := examplePolicy(t)
+	rep, err := Run(spec, pol)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.SpecID != spec.ID {
+		t.Fatalf("spec id = %s", rep.SpecID)
+	}
+	// Levels include public..owner.
+	if len(rep.Levels) < 4 {
+		t.Fatalf("levels = %d", len(rep.Levels))
+	}
+	// Public sees only W1 (4 modules).
+	if rep.Levels[0].Level != privacy.Public || rep.Levels[0].ModulesVisible != 4 {
+		t.Fatalf("public report = %+v", rep.Levels[0])
+	}
+	// Owner (last) sees all 14 modules, nothing hidden.
+	last := rep.Levels[len(rep.Levels)-1]
+	if last.ModulesVisible != 14 || len(last.HiddenAttrs) != 0 {
+		t.Fatalf("owner report = %+v", last)
+	}
+	// Structural pair satisfiable (min edge cut wins on this graph).
+	if len(rep.Structural) != 1 || !rep.Structural[0].Satisfiable {
+		t.Fatalf("structural = %+v", rep.Structural)
+	}
+	if rep.Structural[0].Strategy == "" || rep.Structural[0].Utility <= 0 {
+		t.Fatalf("structural strategy = %+v", rep.Structural[0])
+	}
+	// Leak warnings exist (snps feeds M3 whose snp_set is public).
+	foundSnps := false
+	for _, w := range rep.Leaks {
+		if w.Attr == "snps" && w.Module == "M3" {
+			foundSnps = true
+		}
+	}
+	if !foundSnps {
+		t.Fatalf("leaks = %+v, want snps->M3 warning", rep.Leaks)
+	}
+	if rep.GammaModules["M1"] != 4 {
+		t.Fatalf("gamma modules = %v", rep.GammaModules)
+	}
+}
+
+func TestRunRejectsInvalidPolicy(t *testing.T) {
+	spec, _ := examplePolicy(t)
+	bad := privacy.NewPolicy("other-spec")
+	if _, err := Run(spec, bad); err == nil {
+		t.Fatal("mismatched policy accepted")
+	}
+}
+
+func TestNoLeaksWhenNothingHidden(t *testing.T) {
+	spec := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(spec.ID)
+	rep, err := Run(spec, pol)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Leaks) != 0 {
+		t.Fatalf("leaks = %+v, want none", rep.Leaks)
+	}
+	if len(rep.Structural) != 0 {
+		t.Fatalf("structural = %+v", rep.Structural)
+	}
+}
+
+func TestLevelsHelper(t *testing.T) {
+	_, pol := examplePolicy(t)
+	ls := Levels(pol)
+	if ls[0] != privacy.Public {
+		t.Fatalf("levels = %v", ls)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Fatalf("levels unsorted: %v", ls)
+		}
+	}
+	// Includes owner (from data levels) and analyst (first denied +
+	// grants).
+	want := map[privacy.Level]bool{privacy.Owner: true, privacy.Analyst: true}
+	for _, l := range ls {
+		delete(want, l)
+	}
+	if len(want) != 0 {
+		t.Fatalf("levels %v missing %v", ls, want)
+	}
+}
+
+func TestRender(t *testing.T) {
+	spec, pol := examplePolicy(t)
+	rep, _ := Run(spec, pol)
+	out := rep.Render()
+	for _, wantSub := range []string{
+		"access levels", "structural privacy", "downstream-leak warnings",
+		"module privacy requirements", "M13->M11", "Γ=4",
+	} {
+		if !strings.Contains(out, wantSub) {
+			t.Fatalf("Render missing %q:\n%s", wantSub, out)
+		}
+	}
+}
+
+// Mask-free policy on a module-private workflow: the leak scan skips
+// modules the level cannot see (their outputs are not an oracle for
+// that level).
+func TestLeakScanSkipsHiddenModules(t *testing.T) {
+	spec := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(spec.ID)
+	pol.DataLevels["snps"] = privacy.Owner
+	pol.ModuleLevels["M3"] = privacy.Owner // the would-be oracle is itself hidden
+	rep, err := Run(spec, pol)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, w := range rep.Leaks {
+		if w.Module == "M3" {
+			t.Fatalf("hidden module reported as oracle: %+v", w)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package datapriv
+
+import (
+	"fmt"
+	"strconv"
+
+	"provpriv/internal/exec"
+)
+
+// NumericHierarchy builds a generalization Hierarchy for integer-valued
+// attributes by recursive range halving: level 1 buckets values of
+// [min,max] into width-w ranges rendered as "[lo-hi]", level 2 doubles
+// the width, and so on, topping out at the full range. This is the
+// standard k-anonymity-style ladder for numeric microdata (ages,
+// counts, dosages) and pairs with Masker for data privacy over numeric
+// attributes.
+func NumericHierarchy(attr string, min, max, baseWidth, levels int) (*Hierarchy, error) {
+	if max < min {
+		return nil, fmt.Errorf("datapriv: numeric hierarchy: max %d < min %d", max, min)
+	}
+	if baseWidth < 1 || levels < 1 {
+		return nil, fmt.Errorf("datapriv: numeric hierarchy: width %d / levels %d must be ≥ 1", baseWidth, levels)
+	}
+	h := &Hierarchy{Attr: attr, Other: "*"}
+	width := baseWidth
+	// Level 1 maps raw integers to ranges; deeper levels map range
+	// strings to wider range strings.
+	prev := make(map[exec.Value]exec.Value)
+	for v := min; v <= max; v++ {
+		lo := min + ((v-min)/width)*width
+		hi := lo + width - 1
+		if hi > max {
+			hi = max
+		}
+		prev[exec.Value(strconv.Itoa(v))] = rangeLabel(lo, hi)
+	}
+	h.Levels = append(h.Levels, prev)
+	for l := 1; l < levels; l++ {
+		newWidth := width * 2
+		m := make(map[exec.Value]exec.Value)
+		for lo := min; lo <= max; lo += width {
+			hi := lo + width - 1
+			if hi > max {
+				hi = max
+			}
+			nlo := min + ((lo-min)/newWidth)*newWidth
+			nhi := nlo + newWidth - 1
+			if nhi > max {
+				nhi = max
+			}
+			m[rangeLabel(lo, hi)] = rangeLabel(nlo, nhi)
+		}
+		h.Levels = append(h.Levels, m)
+		width = newWidth
+	}
+	return h, nil
+}
+
+func rangeLabel(lo, hi int) exec.Value {
+	if lo == hi {
+		return exec.Value(strconv.Itoa(lo))
+	}
+	return exec.Value("[" + strconv.Itoa(lo) + "-" + strconv.Itoa(hi) + "]")
+}

@@ -1,0 +1,82 @@
+package datapriv
+
+import (
+	"testing"
+
+	"provpriv/internal/exec"
+)
+
+func TestNumericHierarchyLevels(t *testing.T) {
+	h, err := NumericHierarchy("age", 0, 99, 10, 3)
+	if err != nil {
+		t.Fatalf("NumericHierarchy: %v", err)
+	}
+	if h.MaxDepth() != 3 {
+		t.Fatalf("depth = %d", h.MaxDepth())
+	}
+	cases := []struct {
+		v     exec.Value
+		depth int
+		want  exec.Value
+	}{
+		{"42", 0, "42"},
+		{"42", 1, "[40-49]"},
+		{"42", 2, "[40-59]"},
+		{"42", 3, "[40-79]"},
+		{"7", 1, "[0-9]"},
+		{"99", 1, "[90-99]"},
+		{"99", 2, "[80-99]"},
+	}
+	for _, c := range cases {
+		if got := h.Generalize(c.v, c.depth); got != c.want {
+			t.Errorf("Generalize(%s, %d) = %s, want %s", c.v, c.depth, got, c.want)
+		}
+	}
+}
+
+func TestNumericHierarchyUnknownValue(t *testing.T) {
+	h, _ := NumericHierarchy("age", 0, 9, 2, 1)
+	if got := h.Generalize("200", 1); got != "*" {
+		t.Fatalf("out-of-range = %s, want *", got)
+	}
+}
+
+func TestNumericHierarchyValidation(t *testing.T) {
+	if _, err := NumericHierarchy("a", 10, 5, 2, 1); err == nil {
+		t.Fatal("max<min accepted")
+	}
+	if _, err := NumericHierarchy("a", 0, 9, 0, 1); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := NumericHierarchy("a", 0, 9, 2, 0); err == nil {
+		t.Fatal("levels 0 accepted")
+	}
+}
+
+// Property: generalization is consistent — two values in the same
+// level-1 bucket stay together at every deeper level.
+func TestNumericHierarchyConsistency(t *testing.T) {
+	h, _ := NumericHierarchy("x", 0, 63, 4, 4)
+	for depth := 1; depth <= 4; depth++ {
+		for v := 0; v < 60; v++ {
+			a := h.Generalize(exec.Value(itoa(v)), depth)
+			b := h.Generalize(exec.Value(itoa(v+1)), depth)
+			// Same level-1 bucket implies same deeper bucket.
+			if h.Generalize(exec.Value(itoa(v)), 1) == h.Generalize(exec.Value(itoa(v+1)), 1) && a != b {
+				t.Fatalf("depth %d: %d and %d split after sharing a bucket", depth, v, v+1)
+			}
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,286 @@
+// Package exec models workflow executions and their provenance graphs
+// (Section 2 of the CIDR 2011 paper): executions mirror the workflow
+// graph, associate a unique process id with each module execution,
+// represent composite module executions by begin/end node pairs, and
+// annotate every edge with the data items that flow across it. Each
+// data item is produced by exactly one module execution and has a
+// unique id.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"provpriv/internal/graph"
+)
+
+// Value is the payload of a data item. Values are opaque strings; module
+// privacy reasons about the relation between input and output values,
+// never their semantics.
+type Value string
+
+// NodeKind classifies execution-graph nodes.
+type NodeKind int
+
+const (
+	// SourceNode is the distinguished start node (I).
+	SourceNode NodeKind = iota
+	// SinkNode is the distinguished end node (O).
+	SinkNode
+	// AtomicNode is the execution of an atomic module.
+	AtomicNode
+	// BeginNode marks the activation of a composite module execution.
+	BeginNode
+	// EndNode marks the completion of a composite module execution.
+	EndNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case SourceNode:
+		return "source"
+	case SinkNode:
+		return "sink"
+	case AtomicNode:
+		return "atomic"
+	case BeginNode:
+		return "begin"
+	case EndNode:
+		return "end"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Frame records one enclosing composite-module execution of a node:
+// the composite's process id, its module id, and the subworkflow it
+// expanded to. Frames are ordered outermost-first and drive execution
+// views (collapsing composite executions not in a prefix).
+type Frame struct {
+	Proc   string `json:"proc"`
+	Module string `json:"module"`
+	Sub    string `json:"sub"`
+}
+
+// Node is a node of an execution graph, e.g. "S1:M1-begin" or "S2:M3".
+type Node struct {
+	ID     string   `json:"id"`
+	Module string   `json:"module"` // module id in the spec ("" for I/O)
+	Proc   string   `json:"proc"`   // process id ("" for I/O)
+	Kind   NodeKind `json:"kind"`
+	Frames []Frame  `json:"frames,omitempty"`
+}
+
+// DataItem is a single datum flowing through an execution. Producer is
+// the id of the execution node that created it. Redacted items have had
+// their Value masked by a privacy mechanism; the item's existence and
+// attribute remain visible but not its payload.
+type DataItem struct {
+	ID       string `json:"id"`   // "d0", "d1", ...
+	Attr     string `json:"attr"` // attribute name from the spec
+	Value    Value  `json:"value"`
+	Producer string `json:"producer"`
+	Redacted bool   `json:"redacted,omitempty"`
+}
+
+// Edge is a dataflow edge of an execution graph annotated with the ids
+// of the data items that flow across it.
+type Edge struct {
+	From  string   `json:"from"`
+	To    string   `json:"to"`
+	Items []string `json:"items"`
+}
+
+// Execution is a provenance graph: one run of a workflow specification.
+type Execution struct {
+	ID     string               `json:"id"`
+	SpecID string               `json:"spec"`
+	Nodes  []*Node              `json:"nodes"`
+	Edges  []Edge               `json:"edges"`
+	Items  map[string]*DataItem `json:"items"`
+
+	byID map[string]*Node
+}
+
+// Node returns the node with the given id, or nil.
+func (e *Execution) Node(id string) *Node {
+	if e.byID == nil {
+		e.reindex()
+	}
+	return e.byID[id]
+}
+
+func (e *Execution) reindex() {
+	e.byID = make(map[string]*Node, len(e.Nodes))
+	for _, n := range e.Nodes {
+		e.byID[n.ID] = n
+	}
+}
+
+// NodeIDs returns all node ids in sorted order.
+func (e *Execution) NodeIDs() []string {
+	ids := make([]string, len(e.Nodes))
+	for i, n := range e.Nodes {
+		ids[i] = n.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ItemIDs returns all data item ids in sorted (numeric-aware) order.
+func (e *Execution) ItemIDs() []string {
+	ids := make([]string, 0, len(e.Items))
+	for id := range e.Items {
+		ids = append(ids, id)
+	}
+	sortItemIDs(ids)
+	return ids
+}
+
+func sortItemIDs(ids []string) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if len(a) != len(b) && strings.HasPrefix(a, "d") && strings.HasPrefix(b, "d") {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+}
+
+// Graph returns the execution as a directed graph over node ids.
+func (e *Execution) Graph() *graph.Graph {
+	g := graph.New()
+	for _, n := range e.Nodes {
+		g.AddNode(n.ID)
+	}
+	for _, ed := range e.Edges {
+		g.AddEdge(g.Lookup(ed.From), g.Lookup(ed.To))
+	}
+	return g
+}
+
+// ExecutionsOf returns the node executing the given spec module id
+// (the begin node for composites), or nil.
+func (e *Execution) ExecutionsOf(moduleID string) []*Node {
+	var out []*Node
+	for _, n := range e.Nodes {
+		if n.Module == moduleID && (n.Kind == AtomicNode || n.Kind == BeginNode) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ItemsByAttr returns the data items carrying the given attribute, in
+// item-id order. Most workflows produce one item per attribute per run;
+// loops or fan-outs may produce several.
+func (e *Execution) ItemsByAttr(attr string) []*DataItem {
+	var out []*DataItem
+	for _, id := range e.ItemIDs() {
+		if e.Items[id].Attr == attr {
+			out = append(out, e.Items[id])
+		}
+	}
+	return out
+}
+
+// ProducerOf returns the node that produced item id, or nil.
+func (e *Execution) ProducerOf(itemID string) *Node {
+	it := e.Items[itemID]
+	if it == nil {
+		return nil
+	}
+	return e.Node(it.Producer)
+}
+
+// Validate checks internal consistency: unique node ids, edges
+// referencing known nodes and items, every item produced by a known
+// node, and acyclicity.
+func (e *Execution) Validate() error {
+	seen := make(map[string]bool, len(e.Nodes))
+	for _, n := range e.Nodes {
+		if seen[n.ID] {
+			return fmt.Errorf("exec: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	for _, ed := range e.Edges {
+		if !seen[ed.From] || !seen[ed.To] {
+			return fmt.Errorf("exec: edge %s->%s references unknown node", ed.From, ed.To)
+		}
+		if len(ed.Items) == 0 {
+			return fmt.Errorf("exec: edge %s->%s carries no items", ed.From, ed.To)
+		}
+		for _, it := range ed.Items {
+			if e.Items[it] == nil {
+				return fmt.Errorf("exec: edge %s->%s carries unknown item %q", ed.From, ed.To, it)
+			}
+		}
+	}
+	for id, it := range e.Items {
+		if it.ID != id {
+			return fmt.Errorf("exec: item key %q has id %q", id, it.ID)
+		}
+		if !seen[it.Producer] {
+			return fmt.Errorf("exec: item %s produced by unknown node %q", id, it.Producer)
+		}
+	}
+	if !e.Graph().IsAcyclic() {
+		return fmt.Errorf("exec: execution graph has a cycle")
+	}
+	return nil
+}
+
+// ASCII renders the execution as text lines "from -> to [items]" in
+// deterministic order (regenerates Fig. 4).
+func (e *Execution) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution %s of %s\n", e.ID, e.SpecID)
+	edges := append([]Edge(nil), e.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, ed := range edges {
+		items := append([]string(nil), ed.Items...)
+		sortItemIDs(items)
+		fmt.Fprintf(&b, "  %s -> %s  [%s]\n", ed.From, ed.To, strings.Join(items, ","))
+	}
+	return b.String()
+}
+
+// DOT renders the execution in Graphviz format.
+func (e *Execution) DOT() string {
+	g := e.Graph()
+	kind := make(map[string]NodeKind, len(e.Nodes))
+	for _, n := range e.Nodes {
+		kind[n.ID] = n.Kind
+	}
+	itemsOf := make(map[[2]string]string, len(e.Edges))
+	for _, ed := range e.Edges {
+		items := append([]string(nil), ed.Items...)
+		sortItemIDs(items)
+		itemsOf[[2]string{ed.From, ed.To}] = strings.Join(items, ",")
+	}
+	return g.DOT(graph.DotOptions{
+		Name:    e.ID,
+		Rankdir: "TB",
+		NodeAttrs: func(n graph.NodeID) string {
+			id := g.Name(n)
+			switch kind[id] {
+			case SourceNode, SinkNode:
+				return "shape=circle"
+			case BeginNode, EndNode:
+				return "shape=box,style=rounded"
+			default:
+				return "shape=box"
+			}
+		},
+		EdgeAttrs: func(ed graph.Edge) string {
+			return fmt.Sprintf("label=%q", itemsOf[[2]string{g.Name(ed.U), g.Name(ed.V)}])
+		},
+	})
+}

@@ -1,0 +1,339 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"provpriv/internal/workflow"
+)
+
+// Func computes a module's outputs from its inputs, both keyed by
+// attribute name. Implementations must be deterministic: the privacy
+// analyses treat a module as a fixed relation between inputs and
+// outputs.
+type Func func(in map[string]Value) map[string]Value
+
+// Registry maps module ids to their implementations. Modules without an
+// entry run DefaultFunc.
+type Registry map[string]Func
+
+// DefaultFunc returns a deterministic synthetic implementation for a
+// module: each output attribute's value is derived from the module id,
+// the attribute name and all input values. It stands in for the paper's
+// real scientific modules, whose code is unavailable; only the
+// input→output relation matters to the privacy machinery.
+func DefaultFunc(moduleID string, outputs []string) Func {
+	return func(in map[string]Value) map[string]Value {
+		attrs := make([]string, 0, len(in))
+		for a := range in {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		var sig string
+		for _, a := range attrs {
+			sig += a + "=" + string(in[a]) + ";"
+		}
+		out := make(map[string]Value, len(outputs))
+		for _, o := range outputs {
+			out[o] = Value(fmt.Sprintf("%s(%s|%s)", moduleID, o, sig))
+		}
+		return out
+	}
+}
+
+// Runner executes a workflow specification to produce provenance graphs.
+type Runner struct {
+	Spec  *workflow.Spec
+	Funcs Registry
+}
+
+// NewRunner returns a Runner over the given (validated) spec.
+func NewRunner(s *workflow.Spec, funcs Registry) *Runner {
+	if funcs == nil {
+		funcs = Registry{}
+	}
+	return &Runner{Spec: s, Funcs: funcs}
+}
+
+// supply records where an attribute's current data item is available:
+// the execution node holding it and the item id.
+type supply struct {
+	node string
+	item string
+}
+
+type runState struct {
+	exec  *Execution
+	procN int
+	itemN int
+	funcs Registry
+	spec  *workflow.Spec
+	edges map[[2]string]map[string]bool // (from,to) -> item set
+}
+
+// Run executes the spec on the given workflow inputs (one Value per
+// output attribute of the root source module) and returns the resulting
+// execution graph.
+func (r *Runner) Run(execID string, inputs map[string]Value) (*Execution, error) {
+	st := &runState{
+		exec: &Execution{
+			ID:     execID,
+			SpecID: r.Spec.ID,
+			Items:  make(map[string]*DataItem),
+		},
+		funcs: r.Funcs,
+		spec:  r.Spec,
+		edges: make(map[[2]string]map[string]bool),
+	}
+	root := r.Spec.RootWorkflow()
+	if root == nil {
+		return nil, fmt.Errorf("exec: spec %s has no root workflow", r.Spec.ID)
+	}
+	if _, err := st.runWorkflow(root, nil, nil, inputs); err != nil {
+		return nil, err
+	}
+	st.flushEdges()
+	if err := st.exec.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: internal error: produced invalid execution: %w", err)
+	}
+	return st.exec, nil
+}
+
+func (st *runState) newItem(attr string, val Value, producer string) *DataItem {
+	it := &DataItem{
+		ID:       fmt.Sprintf("d%d", st.itemN),
+		Attr:     attr,
+		Value:    val,
+		Producer: producer,
+	}
+	st.itemN++
+	st.exec.Items[it.ID] = it
+	return it
+}
+
+func (st *runState) addNode(n *Node) *Node {
+	st.exec.Nodes = append(st.exec.Nodes, n)
+	return n
+}
+
+func (st *runState) addEdge(from, to, item string) {
+	k := [2]string{from, to}
+	if st.edges[k] == nil {
+		st.edges[k] = make(map[string]bool)
+	}
+	st.edges[k][item] = true
+}
+
+func (st *runState) flushEdges() {
+	keys := make([][2]string, 0, len(st.edges))
+	for k := range st.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		items := make([]string, 0, len(st.edges[k]))
+		for it := range st.edges[k] {
+			items = append(items, it)
+		}
+		sortItemIDs(items)
+		st.exec.Edges = append(st.exec.Edges, Edge{From: k[0], To: k[1], Items: items})
+	}
+}
+
+// scheduleOrder returns the workflow's modules in topological order,
+// breaking ties by insertion order (which reproduces the paper's
+// process-id numbering on Fig. 4).
+func scheduleOrder(w *workflow.Workflow) ([]*workflow.Module, error) {
+	pos := make(map[string]int, len(w.Modules))
+	for i, m := range w.Modules {
+		pos[m.ID] = i
+	}
+	indeg := make(map[string]int, len(w.Modules))
+	succ := make(map[string][]string, len(w.Modules))
+	for _, e := range w.Edges {
+		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	var ready []string
+	for _, m := range w.Modules {
+		if indeg[m.ID] == 0 {
+			ready = append(ready, m.ID)
+		}
+	}
+	var order []*workflow.Module
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, w.Module(id))
+		for _, nxt := range succ[id] {
+			indeg[nxt]--
+			if indeg[nxt] == 0 {
+				ready = append(ready, nxt)
+			}
+		}
+	}
+	if len(order) != len(w.Modules) {
+		return nil, fmt.Errorf("exec: workflow %s has a cycle", w.ID)
+	}
+	return order, nil
+}
+
+// runWorkflow executes one workflow. extSupply provides the data items
+// for the workflow's entry attributes (nil for the root, whose source
+// module generates items from rootInputs). frames are the enclosing
+// composite executions. It returns the supply for each attribute exposed
+// at an exit module.
+func (st *runState) runWorkflow(w *workflow.Workflow, extSupply map[string]supply, frames []Frame, rootInputs map[string]Value) (map[string]supply, error) {
+	order, err := scheduleOrder(w)
+	if err != nil {
+		return nil, err
+	}
+	// produced[m][a] = supply made available by module m.
+	produced := make(map[string]map[string]supply)
+
+	for _, m := range order {
+		// Assemble this module's input supplies: edge-fed attributes from
+		// upstream producers, entry attributes from extSupply.
+		inSupply := make(map[string]supply)
+		for _, e := range w.Edges {
+			if e.To != m.ID {
+				continue
+			}
+			for _, a := range e.Data {
+				src, ok := produced[e.From][a]
+				if !ok {
+					return nil, fmt.Errorf("exec: %s: edge %s->%s needs %q before it is produced", w.ID, e.From, e.To, a)
+				}
+				inSupply[a] = src
+			}
+		}
+		for _, a := range m.Inputs {
+			if _, ok := inSupply[a]; ok {
+				continue
+			}
+			s, ok := extSupply[a]
+			if !ok {
+				return nil, fmt.Errorf("exec: %s: module %s input %q has no supplier", w.ID, m.ID, a)
+			}
+			inSupply[a] = s
+		}
+
+		switch m.Kind {
+		case workflow.Source:
+			node := st.addNode(&Node{ID: m.ID, Module: m.ID, Kind: SourceNode, Frames: frames})
+			outs := make(map[string]supply, len(m.Outputs))
+			for _, a := range m.Outputs {
+				val, ok := rootInputs[a]
+				if !ok {
+					return nil, fmt.Errorf("exec: missing workflow input %q", a)
+				}
+				it := st.newItem(a, val, node.ID)
+				outs[a] = supply{node: node.ID, item: it.ID}
+			}
+			produced[m.ID] = outs
+
+		case workflow.Sink:
+			node := st.addNode(&Node{ID: m.ID, Module: m.ID, Kind: SinkNode, Frames: frames})
+			for _, a := range m.Inputs {
+				s, ok := inSupply[a]
+				if !ok {
+					return nil, fmt.Errorf("exec: sink %s missing input %q", m.ID, a)
+				}
+				st.addEdge(s.node, node.ID, s.item)
+			}
+			produced[m.ID] = nil
+
+		case workflow.Atomic:
+			st.procN++
+			proc := fmt.Sprintf("S%d", st.procN)
+			node := st.addNode(&Node{
+				ID: proc + ":" + m.ID, Module: m.ID, Proc: proc,
+				Kind: AtomicNode, Frames: frames,
+			})
+			inVals := make(map[string]Value, len(m.Inputs))
+			for _, a := range m.Inputs {
+				s := inSupply[a]
+				st.addEdge(s.node, node.ID, s.item)
+				inVals[a] = Value(st.exec.Items[s.item].Value)
+			}
+			fn := st.funcs[m.ID]
+			if fn == nil {
+				fn = DefaultFunc(m.ID, m.Outputs)
+			}
+			outVals := fn(inVals)
+			outs := make(map[string]supply, len(m.Outputs))
+			for _, a := range m.Outputs {
+				v, ok := outVals[a]
+				if !ok {
+					return nil, fmt.Errorf("exec: module %s did not produce output %q", m.ID, a)
+				}
+				it := st.newItem(a, v, node.ID)
+				outs[a] = supply{node: node.ID, item: it.ID}
+			}
+			produced[m.ID] = outs
+
+		case workflow.Composite:
+			st.procN++
+			proc := fmt.Sprintf("S%d", st.procN)
+			frame := Frame{Proc: proc, Module: m.ID, Sub: m.Sub}
+			ownFrames := append(append([]Frame(nil), frames...), frame)
+			begin := st.addNode(&Node{
+				ID: proc + ":" + m.ID + "-begin", Module: m.ID, Proc: proc,
+				Kind: BeginNode, Frames: ownFrames,
+			})
+			subExt := make(map[string]supply, len(m.Inputs))
+			for _, a := range m.Inputs {
+				s := inSupply[a]
+				st.addEdge(s.node, begin.ID, s.item)
+				// The begin node relays the same item into the subworkflow.
+				subExt[a] = supply{node: begin.ID, item: s.item}
+			}
+			sub := st.spec.Workflows[m.Sub]
+			if sub == nil {
+				return nil, fmt.Errorf("exec: composite %s references missing workflow %s", m.ID, m.Sub)
+			}
+			subOut, err := st.runWorkflow(sub, subExt, ownFrames, rootInputs)
+			if err != nil {
+				return nil, err
+			}
+			end := st.addNode(&Node{
+				ID: proc + ":" + m.ID + "-end", Module: m.ID, Proc: proc,
+				Kind: EndNode, Frames: ownFrames,
+			})
+			outs := make(map[string]supply, len(m.Outputs))
+			for _, a := range m.Outputs {
+				s, ok := subOut[a]
+				if !ok {
+					return nil, fmt.Errorf("exec: subworkflow %s produced no %q for %s", m.Sub, a, m.ID)
+				}
+				st.addEdge(s.node, end.ID, s.item)
+				outs[a] = supply{node: end.ID, item: s.item}
+			}
+			produced[m.ID] = outs
+		}
+	}
+
+	// Exposed outputs: exit supplies per attribute.
+	out := make(map[string]supply)
+	for _, m := range w.Modules {
+		for _, a := range m.Outputs {
+			if len(w.Exits(a)) == 0 {
+				continue
+			}
+			for _, x := range w.Exits(a) {
+				if x.ID == m.ID {
+					if s, ok := produced[m.ID][a]; ok {
+						out[a] = s
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"provpriv/internal/workflow"
+)
+
+// Collapse computes the view of an execution determined by a prefix of
+// the spec's expansion hierarchy (Section 2 / Fig. 2): every composite
+// module execution whose subworkflow is NOT in the prefix is collapsed
+// into a single node "proc:module", absorbing its begin/end pair and
+// everything executed inside it. Edges are remapped, self-loops dropped,
+// and only data items visible on surviving edges are retained — hidden
+// intermediate data is exactly what the view conceals.
+func Collapse(e *Execution, spec *workflow.Spec, prefix workflow.Prefix) (*Execution, error) {
+	h, err := workflow.NewHierarchy(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := prefix.Validate(h); err != nil {
+		return nil, err
+	}
+
+	// mapNode returns the visible node that represents n in the view.
+	type target struct {
+		id     string
+		module string
+		proc   string
+		kind   NodeKind
+		frames []Frame
+	}
+	mapNode := func(n *Node) target {
+		for i, f := range n.Frames {
+			if !prefix.Contains(f.Sub) {
+				return target{
+					id:     f.Proc + ":" + f.Module,
+					module: f.Module,
+					proc:   f.Proc,
+					kind:   AtomicNode, // appears as a single module execution
+					frames: append([]Frame(nil), n.Frames[:i]...),
+				}
+			}
+		}
+		return target{id: n.ID, module: n.Module, proc: n.Proc, kind: n.Kind,
+			frames: append([]Frame(nil), n.Frames...)}
+	}
+
+	view := &Execution{
+		ID:     e.ID + "/view",
+		SpecID: e.SpecID,
+		Items:  make(map[string]*DataItem),
+	}
+	seen := make(map[string]bool)
+	repr := make(map[string]string, len(e.Nodes)) // original node -> view node
+	for _, n := range e.Nodes {
+		t := mapNode(n)
+		repr[n.ID] = t.id
+		if !seen[t.id] {
+			seen[t.id] = true
+			view.Nodes = append(view.Nodes, &Node{
+				ID: t.id, Module: t.module, Proc: t.proc, Kind: t.kind, Frames: t.frames,
+			})
+		}
+	}
+
+	merged := make(map[[2]string]map[string]bool)
+	for _, ed := range e.Edges {
+		f, t := repr[ed.From], repr[ed.To]
+		if f == t {
+			continue // internal to a collapsed composite
+		}
+		k := [2]string{f, t}
+		if merged[k] == nil {
+			merged[k] = make(map[string]bool)
+		}
+		for _, it := range ed.Items {
+			merged[k][it] = true
+		}
+	}
+	keys := make([][2]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		items := make([]string, 0, len(merged[k]))
+		for it := range merged[k] {
+			items = append(items, it)
+			orig := e.Items[it]
+			cp := *orig
+			cp.Producer = repr[orig.Producer]
+			view.Items[it] = &cp
+		}
+		sortItemIDs(items)
+		view.Edges = append(view.Edges, Edge{From: k[0], To: k[1], Items: items})
+	}
+	if err := view.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: collapse produced invalid view: %w", err)
+	}
+	return view, nil
+}
+
+// VisibleItems returns the ids of the data items visible in the view of
+// e under prefix — the complement of what the view hides.
+func VisibleItems(e *Execution, spec *workflow.Spec, prefix workflow.Prefix) ([]string, error) {
+	v, err := Collapse(e, spec, prefix)
+	if err != nil {
+		return nil, err
+	}
+	return v.ItemIDs(), nil
+}

@@ -1,0 +1,91 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers, used
+// for transitive closures and visited sets in the privacy algorithms.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a Bitset able to hold values in [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity n the set was created with.
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) { b.words[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) { b.words[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether i is in the set.
+func (b *Bitset) Has(i int) bool { return b.words[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Or sets b to the union of b and o. The two sets must have equal
+// capacity.
+func (b *Bitset) Or(o *Bitset) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// And sets b to the intersection of b and o.
+func (b *Bitset) And(o *Bitset) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// AndNot removes from b every element of o.
+func (b *Bitset) AndNot(o *Bitset) {
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a copy of b.
+func (b *Bitset) Clone() *Bitset {
+	c := NewBitset(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// Elems returns the elements of the set in increasing order.
+func (b *Bitset) Elems() []int {
+	out := make([]int, 0, b.Count())
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			out = append(out, wi*64+tz)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Equal reports whether b and o contain the same elements.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}

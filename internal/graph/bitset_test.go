@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasic(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if !b.Has(i) {
+			t.Fatalf("Has(%d) = false after Set", i)
+		}
+	}
+	if b.Has(1) || b.Has(128) {
+		t.Fatal("spurious bits set")
+	}
+	if b.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Fatal("Has(64) after Clear")
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+}
+
+func TestBitsetElems(t *testing.T) {
+	b := NewBitset(200)
+	want := []int{3, 67, 150, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitsetSetOps(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+
+	u := a.Clone()
+	u.Or(b)
+	if u.Count() != 3 || !u.Has(1) || !u.Has(2) || !u.Has(3) {
+		t.Fatalf("Or wrong: %v", u.Elems())
+	}
+
+	i := a.Clone()
+	i.And(b)
+	if i.Count() != 1 || !i.Has(2) {
+		t.Fatalf("And wrong: %v", i.Elems())
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Count() != 1 || !d.Has(1) {
+		t.Fatalf("AndNot wrong: %v", d.Elems())
+	}
+}
+
+func TestBitsetEqual(t *testing.T) {
+	a, b := NewBitset(64), NewBitset(64)
+	a.Set(5)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Set(5)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	c := NewBitset(65)
+	c.Set(5)
+	if a.Equal(c) {
+		t.Fatal("different capacities reported equal")
+	}
+}
+
+// Property: a bitset behaves like a map[int]bool under random ops.
+func TestBitsetQuickVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 256
+		b := NewBitset(n)
+		m := make(map[int]bool)
+		for op := 0; op < 500; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				m[i] = true
+			case 1:
+				b.Clear(i)
+				delete(m, i)
+			case 2:
+				if b.Has(i) != m[i] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(m) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Or is commutative and AndNot then Or restores the union.
+func TestBitsetQuickAlgebra(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := NewBitset(256), NewBitset(256)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		ab := a.Clone()
+		ab.Or(b)
+		ba := b.Clone()
+		ba.Or(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		// (a \ b) ∪ (a ∩ b) == a
+		diff := a.Clone()
+		diff.AndNot(b)
+		inter := a.Clone()
+		inter.And(b)
+		diff.Or(inter)
+		return diff.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTAndASCII(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	dot := g.DOT(DotOptions{Name: "D", Rankdir: "LR"})
+	for _, want := range []string{`digraph "D"`, `rankdir=LR`, `"s" -> "a"`, `"b" -> "t"`} {
+		if !contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	ascii := g.ASCII()
+	if !contains(ascii, "s -> a, b") {
+		t.Fatalf("ASCII missing adjacency line:\n%s", ascii)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,184 @@
+package graph
+
+// Max-flow (Dinic) and minimum-cut utilities. Structural privacy uses
+// minimum s-t edge cuts to delete the cheapest set of dataflow edges
+// that severs every path between a hidden pair of modules, and minimum
+// vertex cuts for node-deletion variants.
+
+const flowInf = int64(1) << 60
+
+type flowEdge struct {
+	to   int
+	cap  int64
+	rev  int // index of reverse edge in adj[to]
+	orig bool
+}
+
+// FlowNetwork is a capacitated directed graph for max-flow computation.
+type FlowNetwork struct {
+	adj [][]flowEdge
+}
+
+// NewFlowNetwork creates a network with n nodes and no edges.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{adj: make([][]flowEdge, n)}
+}
+
+// AddEdge adds a directed edge u->v with the given capacity.
+func (f *FlowNetwork) AddEdge(u, v int, cap int64) {
+	f.adj[u] = append(f.adj[u], flowEdge{to: v, cap: cap, rev: len(f.adj[v]), orig: true})
+	f.adj[v] = append(f.adj[v], flowEdge{to: u, cap: 0, rev: len(f.adj[u]) - 1})
+}
+
+// MaxFlow computes the maximum s-t flow using Dinic's algorithm,
+// mutating residual capacities in place.
+func (f *FlowNetwork) MaxFlow(s, t int) int64 {
+	var total int64
+	n := len(f.adj)
+	level := make([]int, n)
+	iter := make([]int, n)
+	for {
+		// BFS to build level graph.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range f.adj[u] {
+				if e.cap > 0 && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if level[t] < 0 {
+			return total
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := f.dfsAugment(s, t, flowInf, level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+}
+
+func (f *FlowNetwork) dfsAugment(u, t int, limit int64, level, iter []int) int64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < len(f.adj[u]); iter[u]++ {
+		e := &f.adj[u][iter[u]]
+		if e.cap <= 0 || level[e.to] != level[u]+1 {
+			continue
+		}
+		amt := limit
+		if e.cap < amt {
+			amt = e.cap
+		}
+		pushed := f.dfsAugment(e.to, t, amt, level, iter)
+		if pushed > 0 {
+			e.cap -= pushed
+			f.adj[e.to][e.rev].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// minCutSide returns the set of nodes reachable from s in the residual
+// network (after MaxFlow has run).
+func (f *FlowNetwork) minCutSide(s int) []bool {
+	side := make([]bool, len(f.adj))
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range f.adj[u] {
+			if e.cap > 0 && !side[e.to] {
+				side[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return side
+}
+
+// MinEdgeCut returns a minimum-cardinality set of edges whose removal
+// disconnects t from s in g, using unit capacities. Optional weights
+// (same length as g.Edges(), matched by edge identity via the weight
+// function) may be supplied through weightFn; nil means unit weights.
+// It returns nil if t is not reachable from s.
+func MinEdgeCut(g *Graph, s, t NodeID, weightFn func(Edge) int64) []Edge {
+	if !g.Reachable(s, t) {
+		return nil
+	}
+	n := g.N()
+	f := NewFlowNetwork(n)
+	for _, e := range g.Edges() {
+		w := int64(1)
+		if weightFn != nil {
+			w = weightFn(e)
+		}
+		f.AddEdge(int(e.U), int(e.V), w)
+	}
+	f.MaxFlow(int(s), int(t))
+	side := f.minCutSide(int(s))
+	var cut []Edge
+	for _, e := range g.Edges() {
+		if side[e.U] && !side[e.V] {
+			cut = append(cut, e)
+		}
+	}
+	return cut
+}
+
+// MinVertexCut returns a minimum set of internal vertices (excluding s
+// and t) whose removal disconnects t from s. It uses the standard
+// node-splitting reduction: each vertex v becomes v_in -> v_out with
+// capacity weight(v) (default 1); original edges get infinite capacity.
+// If t is directly adjacent to s by an edge, no vertex cut exists and
+// nil plus ok=false is returned.
+func MinVertexCut(g *Graph, s, t NodeID, weightFn func(NodeID) int64) (cut []NodeID, ok bool) {
+	if !g.Reachable(s, t) {
+		return nil, true // already disconnected: empty cut suffices
+	}
+	if g.HasEdge(s, t) {
+		return nil, false
+	}
+	n := g.N()
+	// Node u maps to in-node 2u and out-node 2u+1.
+	f := NewFlowNetwork(2 * n)
+	for u := 0; u < n; u++ {
+		w := int64(1)
+		if weightFn != nil {
+			w = weightFn(NodeID(u))
+		}
+		if NodeID(u) == s || NodeID(u) == t {
+			w = flowInf
+		}
+		f.AddEdge(2*u, 2*u+1, w)
+	}
+	for _, e := range g.Edges() {
+		f.AddEdge(2*int(e.U)+1, 2*int(e.V), flowInf)
+	}
+	f.MaxFlow(2*int(s), 2*int(t)+1)
+	side := f.minCutSide(2 * int(s))
+	for u := 0; u < n; u++ {
+		if NodeID(u) == s || NodeID(u) == t {
+			continue
+		}
+		if side[2*u] && !side[2*u+1] {
+			cut = append(cut, NodeID(u))
+		}
+	}
+	return cut, true
+}

@@ -1,0 +1,241 @@
+// Package graph provides the directed-graph substrate used by the
+// workflow, provenance and privacy layers: adjacency storage, traversal,
+// topological ordering, reachability indexes, max-flow based minimum
+// cuts, strongly connected components and DOT rendering.
+//
+// Graphs are node-centric: nodes are created with string names and
+// addressed by dense integer NodeIDs, which keeps the privacy algorithms
+// (bitset closures, flow networks) allocation-friendly.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a single Graph. IDs are dense: the
+// first node added gets 0, the next 1, and so on. IDs are never reused.
+type NodeID int
+
+// Invalid is returned by lookups that find no node.
+const Invalid NodeID = -1
+
+// Graph is a mutable directed graph with named nodes. The zero value is
+// an empty graph ready to use. Graph is not safe for concurrent mutation;
+// concurrent reads are safe once mutation stops.
+type Graph struct {
+	names  []string
+	index  map[string]NodeID
+	out    [][]NodeID
+	in     [][]NodeID
+	edgeN  int
+	hasSet map[edgeKey]struct{}
+}
+
+type edgeKey struct{ u, v NodeID }
+
+// New returns an empty graph. Equivalent to new(Graph) but reads better
+// at call sites.
+func New() *Graph { return &Graph{} }
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, name := range g.names {
+		c.AddNode(name)
+	}
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			c.AddEdge(NodeID(u), v)
+		}
+	}
+	return c
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.names) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edgeN }
+
+// AddNode adds a node with the given name and returns its id. If a node
+// with the name already exists, its existing id is returned.
+func (g *Graph) AddNode(name string) NodeID {
+	if g.index == nil {
+		g.index = make(map[string]NodeID)
+		g.hasSet = make(map[edgeKey]struct{})
+	}
+	if id, ok := g.index[name]; ok {
+		return id
+	}
+	id := NodeID(len(g.names))
+	g.names = append(g.names, name)
+	g.index[name] = id
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// Lookup returns the id of the node with the given name, or Invalid.
+func (g *Graph) Lookup(name string) NodeID {
+	if id, ok := g.index[name]; ok {
+		return id
+	}
+	return Invalid
+}
+
+// Name returns the name of node u. It panics if u is out of range.
+func (g *Graph) Name(u NodeID) string { return g.names[u] }
+
+// Names returns the names of all nodes, indexed by NodeID.
+func (g *Graph) Names() []string {
+	out := make([]string, len(g.names))
+	copy(out, g.names)
+	return out
+}
+
+// AddEdge adds the directed edge u->v. Parallel edges are collapsed:
+// adding an existing edge is a no-op. It panics if u or v is out of
+// range.
+func (g *Graph) AddEdge(u, v NodeID) {
+	g.check(u)
+	g.check(v)
+	k := edgeKey{u, v}
+	if _, ok := g.hasSet[k]; ok {
+		return
+	}
+	if g.hasSet == nil {
+		g.hasSet = make(map[edgeKey]struct{})
+	}
+	g.hasSet[k] = struct{}{}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.edgeN++
+}
+
+// RemoveEdge removes the edge u->v if present and reports whether it was.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	k := edgeKey{u, v}
+	if _, ok := g.hasSet[k]; !ok {
+		return false
+	}
+	delete(g.hasSet, k)
+	g.out[u] = removeID(g.out[u], v)
+	g.in[v] = removeID(g.in[v], u)
+	g.edgeN--
+	return true
+}
+
+func removeID(s []NodeID, x NodeID) []NodeID {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// HasEdge reports whether the edge u->v exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.hasSet[edgeKey{u, v}]
+	return ok
+}
+
+// Out returns the successors of u. The returned slice must not be
+// modified.
+func (g *Graph) Out(u NodeID) []NodeID { return g.out[u] }
+
+// In returns the predecessors of u. The returned slice must not be
+// modified.
+func (g *Graph) In(u NodeID) []NodeID { return g.in[u] }
+
+// OutDegree returns the number of successors of u.
+func (g *Graph) OutDegree(u NodeID) int { return len(g.out[u]) }
+
+// InDegree returns the number of predecessors of u.
+func (g *Graph) InDegree(u NodeID) int { return len(g.in[u]) }
+
+// Edge is a directed edge between two nodes.
+type Edge struct{ U, V NodeID }
+
+// Edges returns all edges in deterministic (source, target) order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.edgeN)
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			es = append(es, Edge{NodeID(u), v})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// Sources returns all nodes with no incoming edges, in id order.
+func (g *Graph) Sources() []NodeID {
+	var s []NodeID
+	for u := range g.in {
+		if len(g.in[u]) == 0 {
+			s = append(s, NodeID(u))
+		}
+	}
+	return s
+}
+
+// Sinks returns all nodes with no outgoing edges, in id order.
+func (g *Graph) Sinks() []NodeID {
+	var s []NodeID
+	for u := range g.out {
+		if len(g.out[u]) == 0 {
+			s = append(s, NodeID(u))
+		}
+	}
+	return s
+}
+
+// InducedSubgraph returns the subgraph induced by keep. Node names are
+// preserved; ids are renumbered densely. The second return value maps
+// old ids to new ids (Invalid for dropped nodes).
+func (g *Graph) InducedSubgraph(keep []NodeID) (*Graph, []NodeID) {
+	mark := make([]bool, g.N())
+	for _, u := range keep {
+		mark[u] = true
+	}
+	sub := New()
+	remap := make([]NodeID, g.N())
+	for i := range remap {
+		remap[i] = Invalid
+	}
+	for u := 0; u < g.N(); u++ {
+		if mark[u] {
+			remap[u] = sub.AddNode(g.names[u])
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		if !mark[u] {
+			continue
+		}
+		for _, v := range g.out[u] {
+			if mark[v] {
+				sub.AddEdge(remap[u], remap[v])
+			}
+		}
+	}
+	return sub, remap
+}
+
+func (g *Graph) check(u NodeID) {
+	if u < 0 || int(u) >= len(g.names) {
+		panic(fmt.Sprintf("graph: node id %d out of range [0,%d)", u, len(g.names)))
+	}
+}
+
+// String returns a compact human-readable description, mainly for tests.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph(n=%d,m=%d)", g.N(), g.M())
+	return s
+}

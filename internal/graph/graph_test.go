@@ -1,0 +1,333 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustTopo(t *testing.T, g *Graph) []NodeID {
+	t.Helper()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	return order
+}
+
+// diamond builds s -> a,b -> t.
+func diamond() (*Graph, NodeID, NodeID, NodeID, NodeID) {
+	g := New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	t := g.AddNode("t")
+	g.AddEdge(s, a)
+	g.AddEdge(s, b)
+	g.AddEdge(a, t)
+	g.AddEdge(b, t)
+	return g, s, a, b, t
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := New()
+	a := g.AddNode("x")
+	b := g.AddNode("x")
+	if a != b {
+		t.Fatalf("AddNode not idempotent: %d vs %d", a, b)
+	}
+	if g.N() != 1 {
+		t.Fatalf("N = %d, want 1", g.N())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := New()
+	a := g.AddNode("x")
+	if got := g.Lookup("x"); got != a {
+		t.Fatalf("Lookup(x) = %d, want %d", got, a)
+	}
+	if got := g.Lookup("missing"); got != Invalid {
+		t.Fatalf("Lookup(missing) = %d, want Invalid", got)
+	}
+}
+
+func TestAddEdgeCollapsesParallel(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(a, b)
+	g.AddEdge(a, b)
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if len(g.Out(a)) != 1 || len(g.In(b)) != 1 {
+		t.Fatalf("adjacency duplicated")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g, s, a, _, _ := diamond()
+	if !g.RemoveEdge(s, a) {
+		t.Fatal("RemoveEdge returned false for existing edge")
+	}
+	if g.RemoveEdge(s, a) {
+		t.Fatal("RemoveEdge returned true for missing edge")
+	}
+	if g.HasEdge(s, a) {
+		t.Fatal("edge still present after removal")
+	}
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3", g.M())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g, s, a, _, _ := diamond()
+	c := g.Clone()
+	c.RemoveEdge(s, a)
+	if !g.HasEdge(s, a) {
+		t.Fatal("mutation of clone affected original")
+	}
+	if c.N() != g.N() {
+		t.Fatalf("clone N = %d, want %d", c.N(), g.N())
+	}
+}
+
+func TestTopoSortOrder(t *testing.T) {
+	g, s, a, b, tt := diamond()
+	order := mustTopo(t, g)
+	pos := make(map[NodeID]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for _, e := range []Edge{{s, a}, {s, b}, {a, tt}, {b, tt}} {
+		if pos[e.U] >= pos[e.V] {
+			t.Fatalf("topo order violates edge %v", e)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := g.TopoSort(); err != ErrCycle {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic = true on cyclic graph")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, s, a, b, tt := diamond()
+	cases := []struct {
+		u, v NodeID
+		want bool
+	}{
+		{s, tt, true}, {s, a, true}, {a, b, false}, {tt, s, false}, {a, a, true},
+	}
+	for _, c := range cases {
+		if got := g.Reachable(c.u, c.v); got != c.want {
+			t.Errorf("Reachable(%s,%s) = %v, want %v", g.Name(c.u), g.Name(c.v), got, c.want)
+		}
+	}
+	_ = b
+}
+
+func TestReachableFromAndTo(t *testing.T) {
+	g, s, a, b, tt := diamond()
+	from := g.ReachableFrom(s)
+	if len(from) != 4 {
+		t.Fatalf("ReachableFrom(s) = %v, want 4 nodes", from)
+	}
+	to := g.ReachingTo(tt)
+	if len(to) != 4 {
+		t.Fatalf("ReachingTo(t) = %v, want 4 nodes", to)
+	}
+	fromA := g.ReachableFrom(a)
+	if len(fromA) != 2 { // a, t
+		t.Fatalf("ReachableFrom(a) = %v, want [a t]", fromA)
+	}
+	_ = b
+}
+
+func TestNodesOnPaths(t *testing.T) {
+	g := New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b") // off-path node
+	tt := g.AddNode("t")
+	g.AddEdge(s, a)
+	g.AddEdge(a, tt)
+	g.AddEdge(s, b) // b doesn't reach t
+	on := g.NodesOnPaths(s, tt)
+	if len(on) != 3 {
+		t.Fatalf("NodesOnPaths = %v, want s,a,t", on)
+	}
+	for _, u := range on {
+		if u == b {
+			t.Fatal("off-path node included")
+		}
+	}
+	if got := g.NodesOnPaths(tt, s); got != nil {
+		t.Fatalf("NodesOnPaths(t,s) = %v, want nil", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := New()
+	n := make([]NodeID, 5)
+	for i := range n {
+		n[i] = g.AddNode(string(rune('a' + i)))
+	}
+	// a->b->c->e and a->d->e: both length... a-b-c-e=3 edges, a-d-e=2 edges.
+	g.AddEdge(n[0], n[1])
+	g.AddEdge(n[1], n[2])
+	g.AddEdge(n[2], n[4])
+	g.AddEdge(n[0], n[3])
+	g.AddEdge(n[3], n[4])
+	p := g.ShortestPath(n[0], n[4])
+	if len(p) != 3 {
+		t.Fatalf("ShortestPath len = %d (%v), want 3", len(p), p)
+	}
+	if p[0] != n[0] || p[2] != n[4] {
+		t.Fatalf("path endpoints wrong: %v", p)
+	}
+	if got := g.ShortestPath(n[4], n[0]); got != nil {
+		t.Fatalf("ShortestPath backwards = %v, want nil", got)
+	}
+	if got := g.ShortestPath(n[2], n[2]); len(got) != 1 {
+		t.Fatalf("self path = %v, want single node", got)
+	}
+}
+
+func TestLongestPathLen(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	if got := g.LongestPathLen(); got != 2 {
+		t.Fatalf("LongestPathLen = %d, want 2", got)
+	}
+	c := New()
+	a, b := c.AddNode("a"), c.AddNode("b")
+	c.AddEdge(a, b)
+	c.AddEdge(b, a)
+	if got := c.LongestPathLen(); got != -1 {
+		t.Fatalf("LongestPathLen on cycle = %d, want -1", got)
+	}
+}
+
+func TestCountPaths(t *testing.T) {
+	g, s, _, _, tt := diamond()
+	if got := g.CountPaths(s, tt, 0); got != 2 {
+		t.Fatalf("CountPaths = %d, want 2", got)
+	}
+	if got := g.CountPaths(tt, s, 0); got != 0 {
+		t.Fatalf("CountPaths reverse = %d, want 0", got)
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g, s, _, _, tt := diamond()
+	if src := g.Sources(); len(src) != 1 || src[0] != s {
+		t.Fatalf("Sources = %v", src)
+	}
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != tt {
+		t.Fatalf("Sinks = %v", snk)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g, s, a, b, tt := diamond()
+	sub, remap := g.InducedSubgraph([]NodeID{s, a, tt})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("sub n=%d m=%d, want 3,2", sub.N(), sub.M())
+	}
+	if remap[b] != Invalid {
+		t.Fatal("dropped node has valid remap")
+	}
+	if !sub.HasEdge(remap[s], remap[a]) || !sub.HasEdge(remap[a], remap[tt]) {
+		t.Fatal("expected edges missing in subgraph")
+	}
+	if sub.Name(remap[a]) != "a" {
+		t.Fatal("names not preserved")
+	}
+}
+
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(nodeName(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestClosureMatchesDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng, 30, 0.1)
+		cl, err := NewClosure(g)
+		if err != nil {
+			t.Fatalf("NewClosure: %v", err)
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				want := g.Reachable(NodeID(u), NodeID(v))
+				if got := cl.Reach(NodeID(u), NodeID(v)); got != want {
+					t.Fatalf("trial %d: closure(%d,%d)=%v dfs=%v", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalIndexMatchesDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng, 30, 0.08)
+		ix, err := NewIntervalIndex(g)
+		if err != nil {
+			t.Fatalf("NewIntervalIndex: %v", err)
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				want := g.Reachable(NodeID(u), NodeID(v))
+				if got := ix.Reach(NodeID(u), NodeID(v)); got != want {
+					t.Fatalf("trial %d: interval(%d,%d)=%v dfs=%v", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestClosureCyclic(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := NewClosure(g); err == nil {
+		t.Fatal("NewClosure accepted cyclic graph")
+	}
+	if _, err := NewIntervalIndex(g); err == nil {
+		t.Fatal("NewIntervalIndex accepted cyclic graph")
+	}
+}
+
+func TestClosurePairs(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	cl, _ := NewClosure(g)
+	// s->a, s->b, s->t, a->t, b->t = 5 ordered pairs.
+	if got := cl.Pairs(); got != 5 {
+		t.Fatalf("Pairs = %d, want 5", got)
+	}
+}

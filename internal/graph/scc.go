@@ -1,0 +1,236 @@
+package graph
+
+import "sort"
+
+// SCC computes the strongly connected components of g using Tarjan's
+// algorithm (iterative, so deep graphs cannot overflow the stack).
+// Components are returned in reverse topological order of the
+// condensation (a component appears before the components it can
+// reach... Tarjan emits them in reverse topological order), each
+// component's node ids sorted ascending.
+func (g *Graph) SCC() [][]NodeID {
+	n := g.N()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []NodeID
+	var comps [][]NodeID
+	counter := 0
+
+	type frame struct {
+		v    NodeID
+		iter int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: NodeID(start)}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.iter < len(g.out[v]) {
+				w := g.out[v][f.iter]
+				f.iter++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-visit.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Condense returns the condensation of g: one node per strongly
+// connected component (named "scc<k>" in the returned graph, k being
+// the component's index in the second return value), with an edge
+// between two components when any original edge crosses them. The
+// condensation is always a DAG.
+func (g *Graph) Condense() (*Graph, [][]NodeID) {
+	comps := g.SCC()
+	compOf := make([]int, g.N())
+	for ci, comp := range comps {
+		for _, u := range comp {
+			compOf[u] = ci
+		}
+	}
+	c := New()
+	for ci := range comps {
+		c.AddNode(sccName(ci))
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.out[u] {
+			cu, cv := compOf[u], compOf[v]
+			if cu != cv {
+				c.AddEdge(NodeID(cu), NodeID(cv))
+			}
+		}
+	}
+	return c, comps
+}
+
+func sccName(i int) string {
+	// Small deterministic names without fmt to keep this allocation-light.
+	digits := "0123456789"
+	if i == 0 {
+		return "scc0"
+	}
+	var buf [24]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = digits[i%10]
+		i /= 10
+	}
+	return "scc" + string(buf[pos:])
+}
+
+// Dominators computes the immediate dominator of every node reachable
+// from root, using the simple iterative data-flow algorithm (Cooper,
+// Harvey, Kennedy). idom[root] = root; unreachable nodes get Invalid.
+// In a workflow view, the dominators of a sink are exactly the modules
+// every dataflow path must pass through — useful for placing privacy
+// "choke points".
+func (g *Graph) Dominators(root NodeID) []NodeID {
+	order, err := g.TopoSort()
+	if err != nil {
+		// General graphs: use reverse postorder of a DFS instead.
+		order = g.dfsPostorderReversed(root)
+	}
+	// Restrict to nodes reachable from root, in (reverse post)order.
+	reach := make([]bool, g.N())
+	for _, u := range g.ReachableFrom(root) {
+		reach[u] = true
+	}
+	rpo := make([]NodeID, 0, g.N())
+	for _, u := range order {
+		if reach[u] {
+			rpo = append(rpo, u)
+		}
+	}
+	pos := make([]int, g.N())
+	for i, u := range rpo {
+		pos[u] = i
+	}
+	idom := make([]NodeID, g.N())
+	for i := range idom {
+		idom[i] = Invalid
+	}
+	idom[root] = root
+	changed := true
+	for changed {
+		changed = false
+		for _, u := range rpo {
+			if u == root {
+				continue
+			}
+			newIdom := Invalid
+			for _, p := range g.in[u] {
+				if !reach[p] || idom[p] == Invalid {
+					continue
+				}
+				if newIdom == Invalid {
+					newIdom = p
+				} else {
+					newIdom = intersectDom(idom, pos, p, newIdom)
+				}
+			}
+			if newIdom != Invalid && idom[u] != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func intersectDom(idom []NodeID, pos []int, a, b NodeID) NodeID {
+	for a != b {
+		for pos[a] > pos[b] {
+			a = idom[a]
+		}
+		for pos[b] > pos[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+func (g *Graph) dfsPostorderReversed(root NodeID) []NodeID {
+	visited := make([]bool, g.N())
+	var post []NodeID
+	var dfs func(u NodeID)
+	dfs = func(u NodeID) {
+		visited[u] = true
+		for _, v := range g.out[u] {
+			if !visited[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(root)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominates reports whether u dominates v given an idom array from
+// Dominators: every path from the root to v passes through u.
+func Dominates(idom []NodeID, u, v NodeID) bool {
+	if idom[v] == Invalid {
+		return false
+	}
+	for {
+		if v == u {
+			return true
+		}
+		if idom[v] == v {
+			return false // reached root
+		}
+		v = idom[v]
+	}
+}

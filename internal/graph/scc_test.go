@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	g.AddEdge(b, c)
+	comps := g.SCC()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	// One component {a,b}, one {c}.
+	sizes := map[int]int{}
+	for _, comp := range comps {
+		sizes[len(comp)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestSCCOnDAGIsSingletons(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	comps := g.SCC()
+	if len(comps) != 4 {
+		t.Fatalf("DAG components = %d, want 4", len(comps))
+	}
+	for _, c := range comps {
+		if len(c) != 1 {
+			t.Fatalf("non-singleton component on DAG: %v", c)
+		}
+	}
+}
+
+func TestCondenseIsDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		// Random graph with cycles: add both directions sometimes.
+		g := New()
+		n := 20
+		for i := 0; i < n; i++ {
+			g.AddNode(nodeName(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.08 {
+					g.AddEdge(NodeID(i), NodeID(j))
+				}
+			}
+		}
+		cond, comps := g.Condense()
+		if !cond.IsAcyclic() {
+			t.Fatalf("trial %d: condensation cyclic", trial)
+		}
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+		}
+		if total != n {
+			t.Fatalf("trial %d: components cover %d of %d nodes", trial, total, n)
+		}
+		// Mutual reachability inside components; checked on a sample.
+		for _, comp := range comps {
+			if len(comp) < 2 {
+				continue
+			}
+			u, v := comp[0], comp[1]
+			if !g.Reachable(u, v) || !g.Reachable(v, u) {
+				t.Fatalf("trial %d: component %v not strongly connected", trial, comp)
+			}
+		}
+	}
+}
+
+func TestDominatorsChain(t *testing.T) {
+	// s -> a -> b -> t: every node dominates its successors.
+	g := New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	tt := g.AddNode("t")
+	g.AddEdge(s, a)
+	g.AddEdge(a, b)
+	g.AddEdge(b, tt)
+	idom := g.Dominators(s)
+	if idom[a] != s || idom[b] != a || idom[tt] != b {
+		t.Fatalf("idom = %v", idom)
+	}
+	if !Dominates(idom, a, tt) || Dominates(idom, tt, a) {
+		t.Fatal("Dominates wrong on chain")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g, s, a, b, tt := diamond()
+	idom := g.Dominators(s)
+	// Neither a nor b dominates t; s does.
+	if idom[tt] != s {
+		t.Fatalf("idom[t] = %v, want s", idom[tt])
+	}
+	if Dominates(idom, a, tt) || Dominates(idom, b, tt) {
+		t.Fatal("branch node wrongly dominates t")
+	}
+	if !Dominates(idom, s, tt) {
+		t.Fatal("s must dominate t")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	g := New()
+	s := g.AddNode("s")
+	x := g.AddNode("x") // unreachable
+	idom := g.Dominators(s)
+	if idom[x] != Invalid {
+		t.Fatalf("unreachable idom = %v", idom[x])
+	}
+	if Dominates(idom, s, x) {
+		t.Fatal("dominates unreachable node")
+	}
+}
+
+// Property: u dominates v iff removing u disconnects v from the root
+// (checked by brute force on random DAGs).
+func TestDominatorsMatchCutDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		g := randomDAG(rng, 15, 0.2)
+		root := NodeID(0)
+		idom := g.Dominators(root)
+		reach := make(map[NodeID]bool)
+		for _, u := range g.ReachableFrom(root) {
+			reach[u] = true
+		}
+		for u := 1; u < g.N(); u++ {
+			for v := 1; v < g.N(); v++ {
+				if u == v || !reach[NodeID(u)] || !reach[NodeID(v)] {
+					continue
+				}
+				dom := Dominates(idom, NodeID(u), NodeID(v))
+				// Brute force: drop u, test reachability root->v.
+				var keep []NodeID
+				for w := 0; w < g.N(); w++ {
+					if w != u {
+						keep = append(keep, NodeID(w))
+					}
+				}
+				sub, remap := g.InducedSubgraph(keep)
+				still := sub.Reachable(remap[root], remap[NodeID(v)])
+				if dom == still && NodeID(v) != NodeID(u) {
+					t.Fatalf("trial %d: Dominates(%d,%d)=%v but removal-reachable=%v", trial, u, v, dom, still)
+				}
+			}
+		}
+	}
+}
+
+func TestDominatorsOnFig1FullExpansion(t *testing.T) {
+	// In the disease workflow's full expansion, M3 dominates everything
+	// on the genetic branch: every path from I to M8 passes through M3.
+	// (Built inline to avoid an import cycle with package workflow.)
+	g := New()
+	names := []string{"I", "M3", "M5", "M6", "M7", "M8"}
+	for _, n := range names {
+		g.AddNode(n)
+	}
+	e := func(a, b string) { g.AddEdge(g.Lookup(a), g.Lookup(b)) }
+	e("I", "M3")
+	e("M3", "M5")
+	e("M5", "M6")
+	e("M5", "M7")
+	e("M6", "M8")
+	e("M7", "M8")
+	idom := g.Dominators(g.Lookup("I"))
+	if !Dominates(idom, g.Lookup("M3"), g.Lookup("M8")) {
+		t.Fatal("M3 must dominate M8")
+	}
+	if !Dominates(idom, g.Lookup("M5"), g.Lookup("M8")) {
+		t.Fatal("M5 must dominate M8")
+	}
+	if Dominates(idom, g.Lookup("M6"), g.Lookup("M8")) {
+		t.Fatal("M6 must not dominate M8")
+	}
+}

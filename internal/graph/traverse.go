@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrCycle is returned by TopoSort when the graph contains a directed
+// cycle.
+var ErrCycle = errors.New("graph: not a DAG (cycle detected)")
+
+// TopoSort returns the nodes in a topological order (Kahn's algorithm,
+// smallest-id-first for determinism). It returns ErrCycle if the graph
+// has a directed cycle.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	indeg := make([]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		indeg[u] = len(g.in[u])
+	}
+	// Min-heap behaviour via sorted frontier keeps output deterministic.
+	var frontier []NodeID
+	for u := 0; u < g.N(); u++ {
+		if indeg[u] == 0 {
+			frontier = append(frontier, NodeID(u))
+		}
+	}
+	order := make([]NodeID, 0, g.N())
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, v := range g.out[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if len(order) != g.N() {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph is a DAG.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Reachable reports whether v is reachable from u by a directed path
+// (u is reachable from itself). It runs a DFS and is O(n+m).
+func (g *Graph) Reachable(u, v NodeID) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, g.N())
+	stack := []NodeID{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range g.out[x] {
+			if y == v {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+// ReachableFrom returns the set of nodes reachable from u, including u.
+func (g *Graph) ReachableFrom(u NodeID) []NodeID {
+	seen := make([]bool, g.N())
+	stack := []NodeID{u}
+	seen[u] = true
+	var out []NodeID
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, x)
+		for _, y := range g.out[x] {
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReachingTo returns the set of nodes from which u is reachable,
+// including u (i.e. reverse reachability).
+func (g *Graph) ReachingTo(u NodeID) []NodeID {
+	seen := make([]bool, g.N())
+	stack := []NodeID{u}
+	seen[u] = true
+	var out []NodeID
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, x)
+		for _, y := range g.in[x] {
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodesOnPaths returns every node lying on some directed path from s to
+// t (inclusive). It is the intersection of ReachableFrom(s) and
+// ReachingTo(t). The result is empty when t is unreachable from s.
+func (g *Graph) NodesOnPaths(s, t NodeID) []NodeID {
+	fwd := make([]bool, g.N())
+	for _, u := range g.ReachableFrom(s) {
+		fwd[u] = true
+	}
+	var out []NodeID
+	for _, u := range g.ReachingTo(t) {
+		if fwd[u] {
+			out = append(out, u)
+		}
+	}
+	if !g.Reachable(s, t) {
+		return nil
+	}
+	return out
+}
+
+// ShortestPath returns a minimum-hop path from s to t (inclusive), or
+// nil when t is unreachable. BFS with deterministic neighbour order.
+func (g *Graph) ShortestPath(s, t NodeID) []NodeID {
+	if s == t {
+		return []NodeID{s}
+	}
+	prev := make([]NodeID, g.N())
+	for i := range prev {
+		prev[i] = Invalid
+	}
+	queue := []NodeID{s}
+	prev[s] = s
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.out[x] {
+			if prev[y] != Invalid {
+				continue
+			}
+			prev[y] = x
+			if y == t {
+				var path []NodeID
+				for c := t; c != s; c = prev[c] {
+					path = append(path, c)
+				}
+				path = append(path, s)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, y)
+		}
+	}
+	return nil
+}
+
+// LongestPathLen returns the number of edges on the longest directed
+// path in a DAG, or -1 if the graph has a cycle.
+func (g *Graph) LongestPathLen() int {
+	order, err := g.TopoSort()
+	if err != nil {
+		return -1
+	}
+	dist := make([]int, g.N())
+	best := 0
+	for _, u := range order {
+		for _, v := range g.out[u] {
+			if dist[u]+1 > dist[v] {
+				dist[v] = dist[u] + 1
+				if dist[v] > best {
+					best = dist[v]
+				}
+			}
+		}
+	}
+	return best
+}
+
+// CountPaths returns the number of distinct directed paths from s to t
+// in a DAG (capped at cap to avoid overflow; pass 0 for no cap). Returns
+// -1 on cyclic graphs.
+func (g *Graph) CountPaths(s, t NodeID, cap int64) int64 {
+	order, err := g.TopoSort()
+	if err != nil {
+		return -1
+	}
+	cnt := make([]int64, g.N())
+	cnt[s] = 1
+	for _, u := range order {
+		if cnt[u] == 0 {
+			continue
+		}
+		for _, v := range g.out[u] {
+			cnt[v] += cnt[u]
+			if cap > 0 && cnt[v] > cap {
+				cnt[v] = cap
+			}
+		}
+	}
+	return cnt[t]
+}

@@ -1,0 +1,347 @@
+// Package index provides the access structures Section 4 of the CIDR
+// 2011 paper calls for ("we must manage an index with different user
+// views"): an inverted keyword index whose postings carry the minimum
+// access level allowed to see them — so one physical index serves every
+// privilege level, instead of one repository copy per level — plus a
+// precomputed reachability index for structural queries and a per-user-
+// group result cache ("another promising direction is to consider user
+// groups when utilizing cached information").
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"provpriv/internal/graph"
+	"provpriv/internal/privacy"
+	"provpriv/internal/search"
+	"provpriv/internal/workflow"
+)
+
+// Posting records one keyword occurrence: the module carrying the term
+// and the minimum level allowed to learn the module's identity.
+type Posting struct {
+	SpecID   string
+	ModuleID string
+	Workflow string
+	MinLevel privacy.Level
+}
+
+// Inverted is a privacy-classified inverted keyword index over a set of
+// specifications. Postings are sorted by MinLevel so a level-filtered
+// lookup is a prefix scan.
+type Inverted struct {
+	postings map[string][]Posting
+}
+
+// BuildInverted indexes every module keyword of every spec. policies
+// (keyed by spec id, may be nil or sparse) supply module privacy levels;
+// unlisted modules are public.
+func BuildInverted(specs []*workflow.Spec, policies map[string]*privacy.Policy) *Inverted {
+	ix := &Inverted{postings: make(map[string][]Posting)}
+	for _, s := range specs {
+		var pol *privacy.Policy
+		if policies != nil {
+			pol = policies[s.ID]
+		}
+		for _, wid := range s.WorkflowIDs() {
+			for _, m := range s.Workflows[wid].Modules {
+				minLevel := privacy.Public
+				if pol != nil {
+					minLevel = pol.ModuleLevels[m.ID]
+				}
+				seen := make(map[string]bool)
+				for _, kw := range m.AllKeywords() {
+					term := search.Normalize(kw)
+					if seen[term] {
+						continue // distinct raw keywords may normalize alike
+					}
+					seen[term] = true
+					ix.postings[term] = append(ix.postings[term], Posting{
+						SpecID: s.ID, ModuleID: m.ID, Workflow: wid, MinLevel: minLevel,
+					})
+				}
+			}
+		}
+	}
+	for term := range ix.postings {
+		ps := ix.postings[term]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].MinLevel != ps[j].MinLevel {
+				return ps[i].MinLevel < ps[j].MinLevel
+			}
+			if ps[i].SpecID != ps[j].SpecID {
+				return ps[i].SpecID < ps[j].SpecID
+			}
+			return ps[i].ModuleID < ps[j].ModuleID
+		})
+	}
+	return ix
+}
+
+// AddSpec incrementally indexes one more spec into an existing index,
+// keeping per-term postings sorted. Equivalent to rebuilding with the
+// spec included; O(spec terms × log postings) instead of O(corpus).
+func (ix *Inverted) AddSpec(s *workflow.Spec, pol *privacy.Policy) {
+	if ix.postings == nil {
+		ix.postings = make(map[string][]Posting)
+	}
+	for _, wid := range s.WorkflowIDs() {
+		for _, m := range s.Workflows[wid].Modules {
+			minLevel := privacy.Public
+			if pol != nil {
+				minLevel = pol.ModuleLevels[m.ID]
+			}
+			seen := make(map[string]bool)
+			for _, kw := range m.AllKeywords() {
+				term := search.Normalize(kw)
+				if seen[term] {
+					continue
+				}
+				seen[term] = true
+				p := Posting{SpecID: s.ID, ModuleID: m.ID, Workflow: wid, MinLevel: minLevel}
+				ps := ix.postings[term]
+				pos := sort.Search(len(ps), func(i int) bool {
+					if ps[i].MinLevel != p.MinLevel {
+						return ps[i].MinLevel > p.MinLevel
+					}
+					if ps[i].SpecID != p.SpecID {
+						return ps[i].SpecID > p.SpecID
+					}
+					return ps[i].ModuleID >= p.ModuleID
+				})
+				ps = append(ps, Posting{})
+				copy(ps[pos+1:], ps[pos:])
+				ps[pos] = p
+				ix.postings[term] = ps
+			}
+		}
+	}
+}
+
+// RemoveSpec drops every posting of the given spec id.
+func (ix *Inverted) RemoveSpec(specID string) {
+	for term, ps := range ix.postings {
+		kept := ps[:0]
+		for _, p := range ps {
+			if p.SpecID != specID {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.postings, term)
+		} else {
+			ix.postings[term] = kept
+		}
+	}
+}
+
+// Lookup returns the postings for term visible at the given level. The
+// scan stops at the first posting above the level (postings are sorted
+// by MinLevel), so low-privilege lookups touch only their own prefix.
+func (ix *Inverted) Lookup(term string, level privacy.Level) []Posting {
+	ps := ix.postings[search.Normalize(term)]
+	var out []Posting
+	for _, p := range ps {
+		if p.MinLevel > level {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Terms returns all indexed terms, sorted.
+func (ix *Inverted) Terms() []string {
+	ts := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	return ts
+}
+
+// Postings returns the total number of postings (for size accounting).
+func (ix *Inverted) Postings() int {
+	n := 0
+	for _, ps := range ix.postings {
+		n += len(ps)
+	}
+	return n
+}
+
+// NaiveLookup is the no-index baseline used by benchmark B4: scan every
+// module of every spec on each query, re-checking the policy each time.
+func NaiveLookup(specs []*workflow.Spec, policies map[string]*privacy.Policy, term string, level privacy.Level) []Posting {
+	want := search.Normalize(term)
+	var out []Posting
+	for _, s := range specs {
+		var pol *privacy.Policy
+		if policies != nil {
+			pol = policies[s.ID]
+		}
+		for _, wid := range s.WorkflowIDs() {
+			for _, m := range s.Workflows[wid].Modules {
+				if pol != nil && !pol.CanSeeModule(level, m.ID) {
+					continue
+				}
+				for _, kw := range m.AllKeywords() {
+					if search.Normalize(kw) == want {
+						minLevel := privacy.Public
+						if pol != nil {
+							minLevel = pol.ModuleLevels[m.ID]
+						}
+						out = append(out, Posting{SpecID: s.ID, ModuleID: m.ID, Workflow: wid, MinLevel: minLevel})
+						break
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MinLevel != out[j].MinLevel {
+			return out[i].MinLevel < out[j].MinLevel
+		}
+		if out[i].SpecID != out[j].SpecID {
+			return out[i].SpecID < out[j].SpecID
+		}
+		return out[i].ModuleID < out[j].ModuleID
+	})
+	return out
+}
+
+// ReachIndex precomputes, per spec, the transitive closure of the full
+// expansion, answering "does module u contribute to module v" in O(1)
+// for structural-query evaluation.
+type ReachIndex struct {
+	graphs   map[string]*graph.Graph
+	closures map[string]*graph.Closure
+}
+
+// BuildReach builds the index for the given specs.
+func BuildReach(specs []*workflow.Spec) (*ReachIndex, error) {
+	r := &ReachIndex{
+		graphs:   make(map[string]*graph.Graph, len(specs)),
+		closures: make(map[string]*graph.Closure, len(specs)),
+	}
+	for _, s := range specs {
+		h, err := workflow.NewHierarchy(s)
+		if err != nil {
+			return nil, err
+		}
+		v, err := workflow.Expand(s, workflow.FullPrefix(h))
+		if err != nil {
+			return nil, err
+		}
+		g := v.Graph()
+		cl, err := graph.NewClosure(g)
+		if err != nil {
+			return nil, err
+		}
+		r.graphs[s.ID] = g
+		r.closures[s.ID] = cl
+	}
+	return r, nil
+}
+
+// AddSpec incrementally indexes one spec's reachability.
+func (r *ReachIndex) AddSpec(s *workflow.Spec) error {
+	h, err := workflow.NewHierarchy(s)
+	if err != nil {
+		return err
+	}
+	v, err := workflow.Expand(s, workflow.FullPrefix(h))
+	if err != nil {
+		return err
+	}
+	g := v.Graph()
+	cl, err := graph.NewClosure(g)
+	if err != nil {
+		return err
+	}
+	if r.graphs == nil {
+		r.graphs = make(map[string]*graph.Graph)
+		r.closures = make(map[string]*graph.Closure)
+	}
+	r.graphs[s.ID] = g
+	r.closures[s.ID] = cl
+	return nil
+}
+
+// Reaches reports whether fromModule contributes (transitively) to
+// toModule in the spec's full expansion. Unknown ids report false.
+func (r *ReachIndex) Reaches(specID, fromModule, toModule string) bool {
+	g := r.graphs[specID]
+	if g == nil {
+		return false
+	}
+	u, v := g.Lookup(fromModule), g.Lookup(toModule)
+	if u == graph.Invalid || v == graph.Invalid {
+		return false
+	}
+	return r.closures[specID].Reach(u, v)
+}
+
+// Cache is a bounded, concurrency-safe result cache keyed by
+// (user group, query key): users in the same group share privacy
+// settings, so they can safely share materialized answers.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*cacheEntry
+	order    []string // FIFO-ish eviction order (append on insert)
+	hits     int
+	misses   int
+}
+
+type cacheEntry struct {
+	value any
+}
+
+// NewCache returns a cache bounded to capacity entries (≥1).
+func NewCache(capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("index: cache capacity %d < 1", capacity)
+	}
+	return &Cache{capacity: capacity, entries: make(map[string]*cacheEntry)}, nil
+}
+
+func cacheKey(group, key string) string { return group + "\x00" + key }
+
+// Get returns the cached value for (group, key).
+func (c *Cache) Get(group, key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey(group, key)]
+	if ok {
+		c.hits++
+		return e.value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a value for (group, key), evicting the oldest entry when
+// full.
+func (c *Cache) Put(group, key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey(group, key)
+	if _, ok := c.entries[k]; !ok {
+		for len(c.entries) >= c.capacity && len(c.order) > 0 {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		c.order = append(c.order, k)
+	}
+	c.entries[k] = &cacheEntry{value: v}
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

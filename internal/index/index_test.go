@@ -1,0 +1,212 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"provpriv/internal/privacy"
+	"provpriv/internal/workflow"
+)
+
+func diseaseSetup(t *testing.T) ([]*workflow.Spec, map[string]*privacy.Policy) {
+	t.Helper()
+	s := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(s.ID)
+	pol.ModuleLevels["M6"] = privacy.Owner // Query OMIM proprietary
+	if err := pol.Validate(s); err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	return []*workflow.Spec{s}, map[string]*privacy.Policy{s.ID: pol}
+}
+
+func TestInvertedLookupFiltersByLevel(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	ix := BuildInverted(specs, pols)
+	// "omim" appears only on M6, which requires Owner.
+	if got := ix.Lookup("omim", privacy.Public); len(got) != 0 {
+		t.Fatalf("public lookup(omim) = %v", got)
+	}
+	got := ix.Lookup("omim", privacy.Owner)
+	if len(got) != 1 || got[0].ModuleID != "M6" || got[0].Workflow != "W4" {
+		t.Fatalf("owner lookup(omim) = %v", got)
+	}
+}
+
+func TestInvertedLookupNormalizes(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	ix := BuildInverted(specs, pols)
+	// "Risks" should hit modules with keyword "risk".
+	if got := ix.Lookup("Risks", privacy.Public); len(got) == 0 {
+		t.Fatal("normalized lookup failed")
+	}
+}
+
+func TestInvertedMatchesNaive(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	ix := BuildInverted(specs, pols)
+	for _, term := range []string{"database", "omim", "query", "private", "nonexistent"} {
+		for _, lvl := range []privacy.Level{privacy.Public, privacy.Analyst, privacy.Owner} {
+			fast := ix.Lookup(term, lvl)
+			slow := NaiveLookup(specs, pols, term, lvl)
+			if len(fast) != len(slow) {
+				t.Fatalf("term %q level %v: index %d vs naive %d", term, lvl, len(fast), len(slow))
+			}
+			for i := range fast {
+				if fast[i] != slow[i] {
+					t.Fatalf("term %q level %v: posting %d differs: %v vs %v", term, lvl, i, fast[i], slow[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInvertedTermsAndPostings(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	ix := BuildInverted(specs, pols)
+	if len(ix.Terms()) == 0 || ix.Postings() == 0 {
+		t.Fatal("empty index for non-empty spec")
+	}
+}
+
+func TestReachIndex(t *testing.T) {
+	specs, _ := diseaseSetup(t)
+	r, err := BuildReach(specs)
+	if err != nil {
+		t.Fatalf("BuildReach: %v", err)
+	}
+	id := specs[0].ID
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"M3", "M5", true},    // paper's full-expansion edge
+		{"M8", "M9", true},    // across composite boundary
+		{"M3", "M15", true},   // long chain
+		{"M10", "M14", false}, // the famous non-path
+		{"M15", "M3", false},
+		{"I", "O", true},
+		{"M3", "NOPE", false},
+	}
+	for _, c := range cases {
+		if got := r.Reaches(id, c.from, c.to); got != c.want {
+			t.Errorf("Reaches(%s,%s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	if r.Reaches("unknown-spec", "a", "b") {
+		t.Error("unknown spec reported reachable")
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c, err := NewCache(2)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	if _, ok := c.Get("g", "q1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("g", "q1", 42)
+	v, ok := c.Get("g", "q1")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	// Group isolation.
+	if _, ok := c.Get("other", "q1"); ok {
+		t.Fatal("cross-group hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d,%d", hits, misses)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c, _ := NewCache(2)
+	c.Put("g", "a", 1)
+	c.Put("g", "b", 2)
+	c.Put("g", "c", 3) // evicts a
+	if _, ok := c.Get("g", "a"); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := c.Get("g", "c"); !ok {
+		t.Fatal("new entry missing")
+	}
+	// Overwrite does not evict.
+	c.Put("g", "c", 30)
+	if v, _ := c.Get("g", "c"); v.(int) != 30 {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestCacheRejectsBadCapacity(t *testing.T) {
+	if _, err := NewCache(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c, _ := NewCache(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := fmt.Sprintf("k%d", j%32)
+				c.Put("g", key, j)
+				c.Get("g", key)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestAddSpecIncrementalMatchesRebuild(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	s2, err := workflowRandom(7)
+	if err != nil {
+		t.Fatalf("random spec: %v", err)
+	}
+	// Build in two orders and compare with a full rebuild.
+	inc := BuildInverted(specs, pols)
+	inc.AddSpec(s2, nil)
+	all := BuildInverted(append(append([]*workflow.Spec{}, specs...), s2), pols)
+	if len(inc.Terms()) != len(all.Terms()) {
+		t.Fatalf("terms: %d vs %d", len(inc.Terms()), len(all.Terms()))
+	}
+	for _, term := range all.Terms() {
+		for _, lvl := range []privacy.Level{privacy.Public, privacy.Owner} {
+			a := inc.Lookup(term, lvl)
+			b := all.Lookup(term, lvl)
+			if len(a) != len(b) {
+				t.Fatalf("term %q level %v: %d vs %d", term, lvl, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("term %q level %v posting %d: %v vs %v", term, lvl, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRemoveSpec(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	s2, _ := workflowRandom(9)
+	ix := BuildInverted(append(append([]*workflow.Spec{}, specs...), s2), pols)
+	ix.RemoveSpec(s2.ID)
+	want := BuildInverted(specs, pols)
+	if len(ix.Terms()) != len(want.Terms()) {
+		t.Fatalf("terms after remove: %d vs %d", len(ix.Terms()), len(want.Terms()))
+	}
+	for _, term := range want.Terms() {
+		a := ix.Lookup(term, privacy.Owner)
+		b := want.Lookup(term, privacy.Owner)
+		if len(a) != len(b) {
+			t.Fatalf("term %q: %d vs %d", term, len(a), len(b))
+		}
+	}
+	// Removing a non-registered spec is a no-op.
+	ix.RemoveSpec("ghost")
+}

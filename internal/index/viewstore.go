@@ -1,0 +1,131 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"provpriv/internal/datapriv"
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/workflow"
+)
+
+// ViewStore materializes privacy views of executions — the Section 4
+// alternative to hiding information on-the-fly: "standard … workflow
+// management systems use various indexing structures or materialized
+// views to speed up query processing." Each entry is an execution
+// already collapsed to a level's access view and masked per the data
+// policy, so privacy-aware reads become map lookups. The trade-off
+// (space per level vs per-query collapse cost) is measured by
+// BenchmarkMaterializedViews.
+type ViewStore struct {
+	mu    sync.RWMutex
+	views map[viewKey]*exec.Execution
+	specs map[string]*workflow.Spec
+	pols  map[string]*privacy.Policy
+	hiers map[string]*workflow.Hierarchy
+	// levels materialized per spec, sorted.
+	levels map[string][]privacy.Level
+}
+
+type viewKey struct {
+	specID string
+	execID string
+	level  privacy.Level
+}
+
+// NewViewStore creates an empty store.
+func NewViewStore() *ViewStore {
+	return &ViewStore{
+		views:  make(map[viewKey]*exec.Execution),
+		specs:  make(map[string]*workflow.Spec),
+		pols:   make(map[string]*privacy.Policy),
+		hiers:  make(map[string]*workflow.Hierarchy),
+		levels: make(map[string][]privacy.Level),
+	}
+}
+
+// RegisterSpec declares a spec, its policy, and the access levels whose
+// views should be materialized for its executions.
+func (vs *ViewStore) RegisterSpec(s *workflow.Spec, pol *privacy.Policy, levels []privacy.Level) error {
+	h, err := workflow.NewHierarchy(s)
+	if err != nil {
+		return err
+	}
+	if pol == nil {
+		pol = privacy.NewPolicy(s.ID)
+	}
+	ls := append([]privacy.Level(nil), levels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	vs.specs[s.ID] = s
+	vs.pols[s.ID] = pol
+	vs.hiers[s.ID] = h
+	vs.levels[s.ID] = ls
+	return nil
+}
+
+// Materialize computes and stores the per-level views of an execution.
+func (vs *ViewStore) Materialize(e *exec.Execution) error {
+	vs.mu.RLock()
+	s := vs.specs[e.SpecID]
+	pol := vs.pols[e.SpecID]
+	h := vs.hiers[e.SpecID]
+	levels := vs.levels[e.SpecID]
+	vs.mu.RUnlock()
+	if s == nil {
+		return fmt.Errorf("index: viewstore: unknown spec %q", e.SpecID)
+	}
+	masker := datapriv.NewMasker(pol, nil)
+	for _, lvl := range levels {
+		prefix := pol.AccessView(h, lvl)
+		collapsed, err := exec.Collapse(e, s, prefix)
+		if err != nil {
+			return err
+		}
+		masked, _ := masker.Mask(collapsed, lvl)
+		vs.mu.Lock()
+		vs.views[viewKey{specID: e.SpecID, execID: e.ID, level: lvl}] = masked
+		vs.mu.Unlock()
+	}
+	return nil
+}
+
+// Get returns the materialized view of an execution at the given level
+// (exact match), or nil when not materialized.
+func (vs *ViewStore) Get(specID, execID string, level privacy.Level) *exec.Execution {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	return vs.views[viewKey{specID: specID, execID: execID, level: level}]
+}
+
+// GetAtOrBelow returns the view at the highest materialized level not
+// exceeding the user's level — a safe (possibly coarser) substitute
+// when the exact level is not materialized.
+func (vs *ViewStore) GetAtOrBelow(specID, execID string, level privacy.Level) (*exec.Execution, privacy.Level) {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	levels := vs.levels[specID]
+	for i := len(levels) - 1; i >= 0; i-- {
+		if levels[i] <= level {
+			if v := vs.views[viewKey{specID: specID, execID: execID, level: levels[i]}]; v != nil {
+				return v, levels[i]
+			}
+		}
+	}
+	return nil, 0
+}
+
+// Size returns the number of materialized views and their total node
+// count (the space overhead the paper worries about).
+func (vs *ViewStore) Size() (views, nodes int) {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	for _, v := range vs.views {
+		views++
+		nodes += len(v.Nodes)
+	}
+	return
+}

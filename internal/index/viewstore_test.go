@@ -1,0 +1,118 @@
+package index
+
+import (
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/workflow"
+)
+
+func storeFixture(t *testing.T) (*ViewStore, *exec.Execution) {
+	t.Helper()
+	s := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(s.ID)
+	pol.DataLevels["snps"] = privacy.Owner
+	pol.ViewGrants[privacy.Registered] = []string{"W2"}
+	pol.ViewGrants[privacy.Analyst] = []string{"W3", "W4"}
+	vs := NewViewStore()
+	if err := vs.RegisterSpec(s, pol, []privacy.Level{privacy.Public, privacy.Registered, privacy.Analyst}); err != nil {
+		t.Fatalf("RegisterSpec: %v", err)
+	}
+	e, err := exec.NewRunner(s, nil).Run("E1", map[string]exec.Value{
+		"snps": "rs1", "ethnicity": "eth1", "lifestyle": "active",
+		"family_history": "fh1", "symptoms": "none",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := vs.Materialize(e); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	return vs, e
+}
+
+func TestViewStoreMaterializesPerLevel(t *testing.T) {
+	vs, e := storeFixture(t)
+	pub := vs.Get(e.SpecID, e.ID, privacy.Public)
+	if pub == nil {
+		t.Fatal("public view missing")
+	}
+	// Public access view = {W1}: 4 nodes (Fig. 2 shape).
+	if len(pub.Nodes) != 4 {
+		t.Fatalf("public view nodes = %v", pub.NodeIDs())
+	}
+	reg := vs.Get(e.SpecID, e.ID, privacy.Registered)
+	if reg == nil || len(reg.Nodes) <= len(pub.Nodes) {
+		t.Fatalf("registered view not finer: %v", reg.NodeIDs())
+	}
+	an := vs.Get(e.SpecID, e.ID, privacy.Analyst)
+	if an == nil || len(an.Nodes) <= len(reg.Nodes) {
+		t.Fatalf("analyst view not finer: %v", an.NodeIDs())
+	}
+	// Data masking applied: snps redacted below Owner.
+	for _, it := range an.Items {
+		if it.Attr == "snps" && !it.Redacted {
+			t.Fatal("snps not masked in analyst view")
+		}
+	}
+}
+
+func TestViewStoreGetMisses(t *testing.T) {
+	vs, e := storeFixture(t)
+	if vs.Get("nope", e.ID, privacy.Public) != nil {
+		t.Fatal("unknown spec returned a view")
+	}
+	if vs.Get(e.SpecID, "nope", privacy.Public) != nil {
+		t.Fatal("unknown exec returned a view")
+	}
+	if vs.Get(e.SpecID, e.ID, privacy.Owner) != nil {
+		t.Fatal("unmaterialized level returned a view")
+	}
+}
+
+func TestViewStoreGetAtOrBelow(t *testing.T) {
+	vs, e := storeFixture(t)
+	// Owner not materialized: fall back to Analyst.
+	v, lvl := vs.GetAtOrBelow(e.SpecID, e.ID, privacy.Owner)
+	if v == nil || lvl != privacy.Analyst {
+		t.Fatalf("fallback = %v at %v", v, lvl)
+	}
+	// Exact hit.
+	v, lvl = vs.GetAtOrBelow(e.SpecID, e.ID, privacy.Registered)
+	if v == nil || lvl != privacy.Registered {
+		t.Fatalf("exact = %v at %v", v, lvl)
+	}
+}
+
+func TestViewStoreUnknownSpec(t *testing.T) {
+	vs := NewViewStore()
+	e := &exec.Execution{ID: "E", SpecID: "nope", Items: map[string]*exec.DataItem{}}
+	if err := vs.Materialize(e); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestViewStoreSize(t *testing.T) {
+	vs, _ := storeFixture(t)
+	views, nodes := vs.Size()
+	if views != 3 || nodes == 0 {
+		t.Fatalf("Size = %d views, %d nodes", views, nodes)
+	}
+}
+
+// workflowRandom builds a small random spec for index tests (kept here
+// to avoid an import cycle with workload — hand-rolled, deterministic).
+func workflowRandom(seed int64) (*workflow.Spec, error) {
+	return workflow.NewBuilder(
+		"rnd", "Random", "R").
+		Workflow("R", "Root").
+		Source("I", "x").
+		Atomic("A1", "Parse Genome Data", []string{"x"}, []string{"y"}).
+		Atomic("A2", "Align Sequence Reads", []string{"y"}, []string{"z"}).
+		Sink("O", "z").
+		Edge("I", "A1", "x").
+		Edge("A1", "A2", "y").
+		Edge("A2", "O", "z").
+		Build()
+}

@@ -1,0 +1,126 @@
+package modpriv
+
+import (
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/workflow"
+)
+
+func allInputs(rel *Relation) []map[string]exec.Value {
+	var out []map[string]exec.Value
+	for _, r := range rel.Rows {
+		out = append(out, r.In)
+	}
+	return out
+}
+
+func TestReconstructionRecoversEverythingWhenNothingHidden(t *testing.T) {
+	rel := xorRelation(t)
+	stats := ReconstructionAttack(rel, allInputs(rel), NewHidden())
+	if stats.Recovered != len(rel.Rows) || stats.Coverage() != 1 {
+		t.Fatalf("stats = %+v, want full recovery", stats)
+	}
+}
+
+func TestReconstructionPartialObservations(t *testing.T) {
+	rel := xorRelation(t)
+	// Observe only two of four inputs.
+	obs := allInputs(rel)[:2]
+	stats := ReconstructionAttack(rel, obs, NewHidden())
+	if stats.Observed != 2 || stats.Recovered != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Coverage() != 0.5 {
+		t.Fatalf("coverage = %v", stats.Coverage())
+	}
+}
+
+func TestSecureViewStopsReconstruction(t *testing.T) {
+	rel := xorRelation(t)
+	sv, err := GreedySecureView(rel, 2, nil)
+	if err != nil {
+		t.Fatalf("GreedySecureView: %v", err)
+	}
+	// Even with EVERY input observed, a Γ=2 view recovers nothing.
+	stats := ReconstructionAttack(rel, allInputs(rel), sv.Hidden)
+	if stats.Recovered != 0 {
+		t.Fatalf("secure view leaked %d rows (hidden %v)", stats.Recovered, sv.Hidden)
+	}
+	if stats.Observed != len(rel.Rows) {
+		t.Fatalf("observed = %d", stats.Observed)
+	}
+}
+
+func TestReconstructionIgnoresOutOfDomain(t *testing.T) {
+	rel := xorRelation(t)
+	obs := []map[string]exec.Value{{"a": "9", "b": "9"}}
+	stats := ReconstructionAttack(rel, obs, NewHidden())
+	if stats.Observed != 0 || stats.Recovered != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// Property: recovery is monotone in observations and antitone in
+// hiding.
+func TestReconstructionMonotonicity(t *testing.T) {
+	rel := bigRelation(t)
+	all := allInputs(rel)
+	prevRecovered := -1
+	for k := 0; k <= len(all); k += 3 {
+		stats := ReconstructionAttack(rel, all[:k], NewHidden())
+		if stats.Recovered < prevRecovered {
+			t.Fatalf("recovery not monotone in observations: %d then %d", prevRecovered, stats.Recovered)
+		}
+		prevRecovered = stats.Recovered
+	}
+	// More hiding never recovers more.
+	full := ReconstructionAttack(rel, all, NewHidden()).Recovered
+	hidY := ReconstructionAttack(rel, all, NewHidden("y")).Recovered
+	hidYZ := ReconstructionAttack(rel, all, NewHidden("y", "z")).Recovered
+	if hidY > full || hidYZ > hidY {
+		t.Fatalf("recovery not antitone in hiding: %d, %d, %d", full, hidY, hidYZ)
+	}
+}
+
+func TestHarvestInputsFromExecutions(t *testing.T) {
+	// Run the chain spec several times and harvest P's inputs.
+	s, err := workflow.NewBuilder("chain2", "Chain", "R").
+		Workflow("R", "Root").
+		Source("I", "a", "b").
+		Atomic("P", "XOR", []string{"a", "b"}, []string{"y"}).
+		Sink("O", "y").
+		Edge("I", "P", "a", "b").
+		Edge("P", "O", "y").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	r := exec.NewRunner(s, exec.Registry{"P": xorFunc})
+	var execs []*exec.Execution
+	for i, in := range []map[string]exec.Value{
+		{"a": "0", "b": "0"}, {"a": "0", "b": "1"}, {"a": "1", "b": "0"},
+	} {
+		e, err := r.Run(itoaT(i), in)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		execs = append(execs, e)
+	}
+	obs := HarvestInputs(execs, "P", []string{"a", "b"})
+	if len(obs) != 3 {
+		t.Fatalf("harvested = %d, want 3", len(obs))
+	}
+	rel := xorRelation(t)
+	stats := ReconstructionAttack(rel, obs, NewHidden())
+	if stats.Recovered != 3 {
+		t.Fatalf("recovered = %d, want 3 (the 3 observed inputs)", stats.Recovered)
+	}
+	// The secure view defeats the harvest-based attack too.
+	sv, _ := GreedySecureView(rel, 2, nil)
+	if got := ReconstructionAttack(rel, obs, sv.Hidden).Recovered; got != 0 {
+		t.Fatalf("secure view leaked %d rows from harvested executions", got)
+	}
+}
+
+func itoaT(i int) string { return string(rune('A' + i)) }

@@ -1,0 +1,218 @@
+package modpriv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"provpriv/internal/exec"
+)
+
+func notRelation(t *testing.T) *Relation {
+	t.Helper()
+	fn := func(in map[string]exec.Value) map[string]exec.Value {
+		v := "1"
+		if in["y"] == "1" {
+			v = "0"
+		}
+		return map[string]exec.Value{"w": exec.Value(v)}
+	}
+	dom := Domain{"y": {"0", "1"}, "w": {"0", "1"}}
+	rel, err := Enumerate("not", fn, []string{"y"}, []string{"w"}, dom)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	return rel
+}
+
+func TestApply(t *testing.T) {
+	rel := xorRelation(t)
+	out, ok := rel.Apply(map[string]exec.Value{"a": "1", "b": "0"})
+	if !ok || out["y"] != "1" {
+		t.Fatalf("Apply = %v, %v", out, ok)
+	}
+	if _, ok := rel.Apply(map[string]exec.Value{"a": "7", "b": "0"}); ok {
+		t.Fatal("Apply succeeded on out-of-domain input")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	xorRel := xorRelation(t)
+	notRel := notRelation(t)
+	comp, err := Compose(xorRel, notRel)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	if comp.ModuleID != "xor;not" {
+		t.Fatalf("id = %s", comp.ModuleID)
+	}
+	if len(comp.Rows) != 4 {
+		t.Fatalf("rows = %d", len(comp.Rows))
+	}
+	// xor(1,0)=1, not(1)=0.
+	out, ok := comp.Apply(map[string]exec.Value{"a": "1", "b": "0"})
+	if !ok || out["w"] != "0" {
+		t.Fatalf("composed(1,0) = %v", out)
+	}
+}
+
+func TestComposeRejectsUnmatchedInputs(t *testing.T) {
+	xorRel := xorRelation(t)
+	other, _ := Enumerate("g", func(in map[string]exec.Value) map[string]exec.Value {
+		return map[string]exec.Value{"z": "0"}
+	}, []string{"q"}, []string{"z"}, Domain{"q": {"0"}, "z": {"0", "1"}})
+	if _, err := Compose(xorRel, other); err == nil {
+		t.Fatal("compose with unmatched inputs accepted")
+	}
+}
+
+// The central leak theorem: hiding y alone is Γ=2 standalone, but with
+// a public NOT module downstream publishing w, the effective level
+// collapses to 1.
+func TestEffectiveLevelDetectsDownstreamLeak(t *testing.T) {
+	xorRel := xorRelation(t)
+	notRel := notRelation(t)
+	hidden := NewHidden("y")
+
+	standalone := xorRel.PrivacyLevel(hidden)
+	if standalone != 2 {
+		t.Fatalf("standalone level = %d, want 2", standalone)
+	}
+	effective, err := EffectiveLevel(xorRel, []*Relation{notRel}, hidden)
+	if err != nil {
+		t.Fatalf("EffectiveLevel: %v", err)
+	}
+	if effective != 1 {
+		t.Fatalf("effective level = %d, want 1 (w = NOT y re-exposes y)", effective)
+	}
+	// Hiding w as well restores Γ=2.
+	both := NewHidden("y", "w")
+	effective2, err := EffectiveLevel(xorRel, []*Relation{notRel}, both)
+	if err != nil {
+		t.Fatalf("EffectiveLevel: %v", err)
+	}
+	if effective2 != 2 {
+		t.Fatalf("effective level with both hidden = %d, want 2", effective2)
+	}
+}
+
+func TestEffectiveLevelEmptyChainMatchesFreeDomain(t *testing.T) {
+	xorRel := xorRelation(t)
+	// With no downstream chain and visible inputs, hiding y leaves
+	// |dom(y)| = 2 candidates.
+	lvl, err := EffectiveLevel(xorRel, nil, NewHidden("y"))
+	if err != nil {
+		t.Fatalf("EffectiveLevel: %v", err)
+	}
+	if lvl != 2 {
+		t.Fatalf("level = %d, want 2", lvl)
+	}
+	// Nothing hidden: the output is pinned.
+	lvl, _ = EffectiveLevel(xorRel, nil, NewHidden())
+	if lvl != 1 {
+		t.Fatalf("level = %d, want 1", lvl)
+	}
+}
+
+func TestEffectiveLevelChainValidation(t *testing.T) {
+	xorRel := xorRelation(t)
+	bad, _ := Enumerate("bad", func(in map[string]exec.Value) map[string]exec.Value {
+		return map[string]exec.Value{"z": "0"}
+	}, []string{"nonexistent"}, []string{"z"}, Domain{"nonexistent": {"0"}, "z": {"0", "1"}})
+	if _, err := EffectiveLevel(xorRel, []*Relation{bad}, NewHidden()); err == nil ||
+		!strings.Contains(err.Error(), "not produced upstream") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGreedyChainSecureView(t *testing.T) {
+	xorRel := xorRelation(t)
+	notRel := notRelation(t)
+	// w is cheap, y expensive: but hiding only w leaves y visible (level
+	// 1); hiding only y leaks through w. The solver must hide both.
+	sv, err := GreedyChainSecureView(xorRel, []*Relation{notRel}, 2, Weights{"y": 3, "w": 1})
+	if err != nil {
+		t.Fatalf("GreedyChainSecureView: %v", err)
+	}
+	if !sv.Hidden["y"] || !sv.Hidden["w"] {
+		t.Fatalf("hidden = %v, want {w,y}", sv.Hidden)
+	}
+	if sv.Level < 2 {
+		t.Fatalf("level = %d", sv.Level)
+	}
+	// Verify the certificate.
+	lvl, _ := EffectiveLevel(xorRel, []*Relation{notRel}, sv.Hidden)
+	if lvl != sv.Level {
+		t.Fatalf("certificate mismatch: %d vs %d", lvl, sv.Level)
+	}
+}
+
+func TestGreedyChainUnachievable(t *testing.T) {
+	xorRel := xorRelation(t)
+	notRel := notRelation(t)
+	_, err := GreedyChainSecureView(xorRel, []*Relation{notRel}, 3, nil)
+	var ue *ErrUnachievable
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want ErrUnachievable", err)
+	}
+}
+
+// Property: the effective level never exceeds the standalone level
+// computed with known inputs (the chain only adds observations), and
+// hiding more attributes never lowers it.
+func TestEffectiveLevelMonotoneAndBounded(t *testing.T) {
+	rel := bigRelation(t)
+	// Downstream: sum of y and z mod 3.
+	down, err := Enumerate("down", func(in map[string]exec.Value) map[string]exec.Value {
+		y := int(in["y"][0] - '0')
+		z := int(in["z"][0] - '0')
+		return map[string]exec.Value{"s": exec.Value(rune('0' + (y+z)%3))}
+	}, []string{"y", "z"}, []string{"s"}, Domain{
+		"y": {"0", "1", "2"}, "z": {"0", "1", "2"}, "s": {"0", "1", "2"},
+	})
+	if err != nil {
+		t.Fatalf("Enumerate down: %v", err)
+	}
+	chains := [][]string{
+		{}, {"y"}, {"y", "z"}, {"y", "z", "s"},
+	}
+	prev := 0
+	for _, hs := range chains {
+		h := NewHidden(hs...)
+		eff, err := EffectiveLevel(rel, []*Relation{down}, h)
+		if err != nil {
+			t.Fatalf("EffectiveLevel(%v): %v", hs, err)
+		}
+		if eff < prev {
+			t.Fatalf("not monotone: level(%v)=%d < %d", hs, eff, prev)
+		}
+		noChain, _ := EffectiveLevel(rel, nil, h)
+		if eff > noChain {
+			t.Fatalf("chain increased uncertainty: %d > %d for %v", eff, noChain, hs)
+		}
+		prev = eff
+	}
+}
+
+func TestExhaustiveChainSecureView(t *testing.T) {
+	xorRel := xorRelation(t)
+	notRel := notRelation(t)
+	ex, err := ExhaustiveChainSecureView(xorRel, []*Relation{notRel}, 2, Weights{"y": 3, "w": 1})
+	if err != nil {
+		t.Fatalf("ExhaustiveChainSecureView: %v", err)
+	}
+	if !ex.Hidden["y"] || !ex.Hidden["w"] {
+		t.Fatalf("hidden = %v, want both", ex.Hidden)
+	}
+	gr, err := GreedyChainSecureView(xorRel, []*Relation{notRel}, 2, Weights{"y": 3, "w": 1})
+	if err != nil {
+		t.Fatalf("greedy: %v", err)
+	}
+	if gr.Cost < ex.Cost {
+		t.Fatalf("greedy %v beats exact %v", gr.Cost, ex.Cost)
+	}
+	var ue *ErrUnachievable
+	if _, err := ExhaustiveChainSecureView(xorRel, []*Relation{notRel}, 5, nil); !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want ErrUnachievable", err)
+	}
+}

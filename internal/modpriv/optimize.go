@@ -1,0 +1,179 @@
+package modpriv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Weights assigns each attribute the utility lost by hiding it. Missing
+// attributes default to weight 1. Weights must be non-negative.
+type Weights map[string]float64
+
+// Of returns the weight of attr (default 1).
+func (w Weights) Of(attr string) float64 {
+	if w == nil {
+		return 1
+	}
+	if v, ok := w[attr]; ok {
+		return v
+	}
+	return 1
+}
+
+// Cost sums the weights of a hidden set.
+func (w Weights) Cost(h Hidden) float64 {
+	var c float64
+	for a := range h {
+		c += w.Of(a)
+	}
+	return c
+}
+
+// SecureView is the result of a secure-view computation for one module:
+// a hidden attribute set, its utility cost, and the privacy level it
+// certifies.
+type SecureView struct {
+	ModuleID string
+	Hidden   Hidden
+	Cost     float64
+	Level    int
+}
+
+// ErrUnachievable is returned when no hidden set reaches the requested
+// Γ (the module's output domain is too small).
+type ErrUnachievable struct {
+	ModuleID string
+	Gamma    int
+	Max      int
+}
+
+func (e *ErrUnachievable) Error() string {
+	return fmt.Sprintf("modpriv: module %s: Γ=%d unachievable (max level %d)", e.ModuleID, e.Gamma, e.Max)
+}
+
+// ExhaustiveSecureView finds a minimum-cost hidden set achieving
+// Γ-privacy by enumerating all attribute subsets. Exact but exponential:
+// use only when the module has ≲20 attributes. Ties are broken toward
+// fewer hidden attributes, then lexicographically, so results are
+// deterministic.
+func ExhaustiveSecureView(r *Relation, gamma int, w Weights) (*SecureView, error) {
+	attrs := r.Attrs()
+	if len(attrs) > 24 {
+		return nil, fmt.Errorf("modpriv: exhaustive search over %d attributes refused (>24)", len(attrs))
+	}
+	if max := r.MaxLevel(); max < gamma {
+		return nil, &ErrUnachievable{ModuleID: r.ModuleID, Gamma: gamma, Max: max}
+	}
+	bestCost := math.Inf(1)
+	var best Hidden
+	bestSize := len(attrs) + 1
+	for mask := 0; mask < 1<<uint(len(attrs)); mask++ {
+		h := make(Hidden)
+		cost := 0.0
+		size := 0
+		for i, a := range attrs {
+			if mask&(1<<uint(i)) != 0 {
+				h[a] = true
+				cost += w.Of(a)
+				size++
+			}
+		}
+		if cost > bestCost || (cost == bestCost && size >= bestSize) {
+			continue
+		}
+		if r.IsSafe(h, gamma) {
+			bestCost = cost
+			best = h
+			bestSize = size
+		}
+	}
+	if best == nil {
+		return nil, &ErrUnachievable{ModuleID: r.ModuleID, Gamma: gamma, Max: r.MaxLevel()}
+	}
+	return &SecureView{ModuleID: r.ModuleID, Hidden: best, Cost: bestCost, Level: r.PrivacyLevel(best)}, nil
+}
+
+// GreedySecureView finds a safe hidden set heuristically: it repeatedly
+// hides the attribute with the best marginal privacy gain per unit
+// weight (preferring output attributes on ties, whose gain is
+// multiplicative) until Γ is reached, then greedily un-hides attributes
+// whose removal keeps the view safe (reverse deletion), from most to
+// least expensive. Runs in O(n² · |rows|).
+func GreedySecureView(r *Relation, gamma int, w Weights) (*SecureView, error) {
+	if max := r.MaxLevel(); max < gamma {
+		return nil, &ErrUnachievable{ModuleID: r.ModuleID, Gamma: gamma, Max: max}
+	}
+	attrs := r.Attrs()
+	h := make(Hidden)
+	level := r.PrivacyLevel(h)
+	for level < gamma {
+		type cand struct {
+			attr  string
+			gain  float64
+			ratio float64
+		}
+		var best *cand
+		for _, a := range attrs {
+			if h[a] {
+				continue
+			}
+			h[a] = true
+			newLevel := r.PrivacyLevel(h)
+			delete(h, a)
+			gain := float64(newLevel - level)
+			weight := w.Of(a)
+			ratio := gain / math.Max(weight, 1e-9)
+			c := &cand{attr: a, gain: gain, ratio: ratio}
+			if best == nil ||
+				c.ratio > best.ratio ||
+				(c.ratio == best.ratio && weight < w.Of(best.attr)) ||
+				(c.ratio == best.ratio && weight == w.Of(best.attr) && c.attr < best.attr) {
+				best = c
+			}
+		}
+		if best == nil {
+			break
+		}
+		if best.gain <= 0 {
+			// No single attribute helps; hide the cheapest remaining one
+			// and keep going (combinations may unlock gains).
+			cheapest := ""
+			for _, a := range attrs {
+				if h[a] {
+					continue
+				}
+				if cheapest == "" || w.Of(a) < w.Of(cheapest) ||
+					(w.Of(a) == w.Of(cheapest) && a < cheapest) {
+					cheapest = a
+				}
+			}
+			if cheapest == "" {
+				break
+			}
+			h[cheapest] = true
+		} else {
+			h[best.attr] = true
+		}
+		level = r.PrivacyLevel(h)
+	}
+	if level < gamma {
+		return nil, &ErrUnachievable{ModuleID: r.ModuleID, Gamma: gamma, Max: r.MaxLevel()}
+	}
+	// Reverse deletion: drop redundant attributes, most expensive first.
+	hidden := h.List()
+	sort.Slice(hidden, func(i, j int) bool {
+		wi, wj := w.Of(hidden[i]), w.Of(hidden[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return hidden[i] < hidden[j]
+	})
+	for _, a := range hidden {
+		delete(h, a)
+		if !r.IsSafe(h, gamma) {
+			h[a] = true
+		}
+	}
+	return &SecureView{ModuleID: r.ModuleID, Hidden: h, Cost: w.Cost(h), Level: r.PrivacyLevel(h)}, nil
+}

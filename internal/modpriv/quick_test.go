@@ -1,0 +1,132 @@
+package modpriv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"provpriv/internal/exec"
+)
+
+// randomRelation builds a random table-driven relation with nIn/nOut
+// attributes over k-value domains, deterministic in seed.
+func randomRelation(seed int64, nIn, nOut, k int) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	var ins, outs []string
+	dom := make(Domain)
+	vals := make([]exec.Value, k)
+	for i := range vals {
+		vals[i] = exec.Value(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < nIn; i++ {
+		a := fmt.Sprintf("i%d", i)
+		ins = append(ins, a)
+		dom[a] = vals
+	}
+	for i := 0; i < nOut; i++ {
+		a := fmt.Sprintf("o%d", i)
+		outs = append(outs, a)
+		dom[a] = vals
+	}
+	table := make(map[string]map[string]exec.Value)
+	fn := func(in map[string]exec.Value) map[string]exec.Value {
+		key := assignKey(ins, in)
+		if out, ok := table[key]; ok {
+			return out
+		}
+		out := make(map[string]exec.Value, nOut)
+		for _, o := range outs {
+			out[o] = vals[rng.Intn(k)]
+		}
+		table[key] = out
+		return out
+	}
+	rel, err := Enumerate("q", fn, ins, outs, dom)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// Property: PrivacyLevel is monotone under adding hidden attributes,
+// for random relations and random hiding orders.
+func TestPrivacyLevelMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rel := randomRelation(seed, 2, 2, 3)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		attrs := rel.Attrs()
+		rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+		h := make(Hidden)
+		prev := rel.PrivacyLevel(h)
+		for _, a := range attrs {
+			h[a] = true
+			cur := rel.PrivacyLevel(h)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: both solvers always return safe views with level ≥ Γ, and
+// exhaustive never costs more than greedy.
+func TestSolversSoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rel := randomRelation(seed, 2, 2, 3)
+		for _, gamma := range []int{2, 3} {
+			if rel.MaxLevel() < gamma {
+				continue
+			}
+			ex, err1 := ExhaustiveSecureView(rel, gamma, nil)
+			gr, err2 := GreedySecureView(rel, gamma, nil)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !rel.IsSafe(ex.Hidden, gamma) || !rel.IsSafe(gr.Hidden, gamma) {
+				return false
+			}
+			if ex.Cost > gr.Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reconstruction recovery plus ambiguity covers all observed
+// rows — every observed row is either recovered or Γ-ambiguous.
+func TestAttackPartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rel := randomRelation(seed, 2, 1, 3)
+		var obs []map[string]exec.Value
+		for i, row := range rel.Rows {
+			if i%2 == 0 {
+				obs = append(obs, row.In)
+			}
+		}
+		for _, hs := range []Hidden{NewHidden(), NewHidden("i0"), NewHidden("o0"), NewHidden("i0", "o0")} {
+			st := ReconstructionAttack(rel, obs, hs)
+			if st.Recovered > st.Observed || st.Observed > st.DomainRows {
+				return false
+			}
+			// Safety: under a view with PrivacyLevel ≥ 2, nothing is
+			// recovered.
+			if rel.PrivacyLevel(hs) >= 2 && st.Recovered != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

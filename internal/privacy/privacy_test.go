@@ -1,0 +1,167 @@
+package privacy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"provpriv/internal/workflow"
+)
+
+func diseasePolicy(t *testing.T) (*workflow.Spec, *Policy) {
+	t.Helper()
+	s := workflow.DiseaseSusceptibility()
+	p := NewPolicy(s.ID)
+	p.DataLevels["disorders"] = Analyst
+	p.DataLevels["snps"] = Owner
+	p.ModuleGamma["M1"] = 4
+	p.ModuleLevels["M1"] = Owner
+	p.Structural = []HiddenPair{{From: "M13", To: "M11", Level: Owner}}
+	p.ViewGrants[Registered] = []string{"W2"}
+	p.ViewGrants[Analyst] = []string{"W4", "W3"}
+	if err := p.Validate(s); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return s, p
+}
+
+func TestCanSeeData(t *testing.T) {
+	_, p := diseasePolicy(t)
+	if p.CanSeeData(Public, "disorders") {
+		t.Fatal("public sees disorders")
+	}
+	if !p.CanSeeData(Analyst, "disorders") {
+		t.Fatal("analyst blind to disorders")
+	}
+	if !p.CanSeeData(Public, "prognosis") {
+		t.Fatal("unlisted attribute not public")
+	}
+}
+
+func TestHiddenAttrs(t *testing.T) {
+	_, p := diseasePolicy(t)
+	got := strings.Join(p.HiddenAttrs(Registered), ",")
+	if got != "disorders,snps" {
+		t.Fatalf("HiddenAttrs(Registered) = %s", got)
+	}
+	if len(p.HiddenAttrs(Owner)) != 0 {
+		t.Fatal("owner has hidden attrs")
+	}
+}
+
+func TestCanSeeModule(t *testing.T) {
+	_, p := diseasePolicy(t)
+	if p.CanSeeModule(Analyst, "M1") {
+		t.Fatal("analyst sees private module M1")
+	}
+	if !p.CanSeeModule(Owner, "M1") {
+		t.Fatal("owner blind to M1")
+	}
+	if !p.CanSeeModule(Public, "M3") {
+		t.Fatal("unlisted module not public")
+	}
+}
+
+func TestHiddenPairsFor(t *testing.T) {
+	_, p := diseasePolicy(t)
+	if got := p.HiddenPairsFor(Analyst); len(got) != 1 || got[0].From != "M13" {
+		t.Fatalf("HiddenPairsFor(Analyst) = %v", got)
+	}
+	if got := p.HiddenPairsFor(Owner); len(got) != 0 {
+		t.Fatalf("HiddenPairsFor(Owner) = %v", got)
+	}
+}
+
+func TestAccessViewCumulative(t *testing.T) {
+	s, p := diseasePolicy(t)
+	h, _ := workflow.NewHierarchy(s)
+
+	pub := p.AccessView(h, Public)
+	if strings.Join(pub.IDs(), ",") != "W1" {
+		t.Fatalf("public view = %v", pub.IDs())
+	}
+	reg := p.AccessView(h, Registered)
+	if strings.Join(reg.IDs(), ",") != "W1,W2" {
+		t.Fatalf("registered view = %v", reg.IDs())
+	}
+	an := p.AccessView(h, Analyst)
+	if strings.Join(an.IDs(), ",") != "W1,W2,W3,W4" {
+		t.Fatalf("analyst view = %v", an.IDs())
+	}
+	// All results are valid prefixes.
+	for _, pre := range []workflow.Prefix{pub, reg, an} {
+		if err := pre.Validate(h); err != nil {
+			t.Fatalf("access view invalid: %v", err)
+		}
+	}
+}
+
+func TestAccessViewClosesUnderParents(t *testing.T) {
+	s, _ := diseasePolicy(t)
+	h, _ := workflow.NewHierarchy(s)
+	p := NewPolicy(s.ID)
+	p.ViewGrants[Registered] = []string{"W4"} // deep grant; W2 must come along
+	v := p.AccessView(h, Registered)
+	if strings.Join(v.IDs(), ",") != "W1,W2,W4" {
+		t.Fatalf("view = %v, want parent closure", v.IDs())
+	}
+}
+
+func TestValidateRejectsUnknownRefs(t *testing.T) {
+	s := workflow.DiseaseSusceptibility()
+	cases := []func(p *Policy){
+		func(p *Policy) { p.DataLevels["nope"] = Analyst },
+		func(p *Policy) { p.ModuleGamma["MX"] = 4 },
+		func(p *Policy) { p.ModuleGamma["M1"] = 1 },
+		func(p *Policy) { p.ModuleLevels["MX"] = Owner },
+		func(p *Policy) { p.Structural = []HiddenPair{{From: "MX", To: "M1", Level: Owner}} },
+		func(p *Policy) { p.Structural = []HiddenPair{{From: "M1", To: "MX", Level: Owner}} },
+		func(p *Policy) { p.ViewGrants[Registered] = []string{"WX"} },
+	}
+	for i, mut := range cases {
+		p := NewPolicy(s.ID)
+		mut(p)
+		if err := p.Validate(s); err == nil {
+			t.Errorf("case %d: invalid policy accepted", i)
+		}
+	}
+	// Wrong spec id.
+	p := NewPolicy("other")
+	if err := p.Validate(s); err == nil {
+		t.Error("policy for wrong spec accepted")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Public.String() != "public" || Owner.String() != "owner" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() != "level9" {
+		t.Fatalf("Level(9) = %s", Level(9))
+	}
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	s, p := diseasePolicy(t)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var p2 Policy
+	if err := json.Unmarshal(data, &p2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := p2.Validate(s); err != nil {
+		t.Fatalf("round-tripped policy invalid: %v", err)
+	}
+	if p2.DataLevels["snps"] != Owner || p2.ModuleGamma["M1"] != 4 {
+		t.Fatalf("fields lost: %+v", p2)
+	}
+	if len(p2.Structural) != 1 || p2.Structural[0].From != "M13" {
+		t.Fatalf("structural lost: %+v", p2.Structural)
+	}
+	h, _ := workflow.NewHierarchy(s)
+	if strings.Join(p2.AccessView(h, Registered).IDs(), ",") != "W1,W2" {
+		t.Fatal("view grants lost")
+	}
+}

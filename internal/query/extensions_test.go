@@ -1,0 +1,102 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNegatedConstraints(t *testing.T) {
+	q, err := Parse(`MATCH a = "search", b = "summarize" WHERE a !~> b`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Constraints) != 1 || !q.Constraints[0].Negate || q.Constraints[0].Direct {
+		t.Fatalf("constraints = %+v", q.Constraints)
+	}
+	q2, err := Parse(`MATCH a = "x", b = "y" WHERE a !-> b`)
+	if err != nil {
+		t.Fatalf("Parse !->: %v", err)
+	}
+	if !q2.Constraints[0].Negate || !q2.Constraints[0].Direct {
+		t.Fatalf("constraints = %+v", q2.Constraints)
+	}
+}
+
+// The paper's structural-privacy question, as a query: "does M10 reach
+// M14?" — negation lets users assert non-paths.
+func TestEvaluateNegatedPath(t *testing.T) {
+	spec, e := diseaseExec(t)
+	ev := NewEvaluator(spec)
+	// M10 (Search Private Datasets) does NOT reach M14 (Summarize).
+	q, err := Parse(`MATCH a = "id:M10", b = "id:M14" WHERE a !~> b`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ans, err := ev.Evaluate(q, e)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(ans.Bindings) != 1 {
+		t.Fatalf("bindings = %v (M10 must not reach M14)", ans.Bindings)
+	}
+	// And the positive direction is empty.
+	qPos, _ := Parse(`MATCH a = "id:M10", b = "id:M14" WHERE a ~> b`)
+	ansPos, _ := ev.Evaluate(qPos, e)
+	if len(ansPos.Bindings) != 0 {
+		t.Fatalf("positive bindings = %v", ansPos.Bindings)
+	}
+}
+
+func TestEvaluateIDLiteral(t *testing.T) {
+	spec, e := diseaseExec(t)
+	ev := NewEvaluator(spec)
+	q, err := Parse(`MATCH m = "id:M13"`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ans, err := ev.Evaluate(q, e)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(ans.Bindings) != 1 || ans.Bindings[0]["m"] != "S11:M13" {
+		t.Fatalf("bindings = %v", ans.Bindings)
+	}
+	// Unknown id: no bindings, no error.
+	q2, _ := Parse(`MATCH m = "id:M99"`)
+	ans2, _ := ev.Evaluate(q2, e)
+	if len(ans2.Bindings) != 0 {
+		t.Fatalf("unknown id bound: %v", ans2.Bindings)
+	}
+}
+
+func TestEvaluateNegatedDirectEdge(t *testing.T) {
+	spec, e := diseaseExec(t)
+	ev := NewEvaluator(spec)
+	// M3 reaches M6 but not directly.
+	q, _ := Parse(`MATCH a = "id:M3", b = "id:M6" WHERE a ~> b, a !-> b`)
+	ans, err := ev.Evaluate(q, e)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(ans.Bindings) != 1 {
+		t.Fatalf("bindings = %v", ans.Bindings)
+	}
+}
+
+func TestMixedConstraintQuery(t *testing.T) {
+	spec, e := diseaseExec(t)
+	ev := NewEvaluator(spec)
+	// All pairs (search module, combiner) where the search feeds the
+	// combiner transitively: M10~>M15 and M12~>M15.
+	q, _ := Parse(`MATCH s = "search", c = "id:M15" WHERE s ~> c RETURN nodes`)
+	ans, err := ev.Evaluate(q, e)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	joined := strings.Join(ans.Nodes, ",")
+	for _, want := range []string{"S10:M12", "S13:M10", "S15:M15"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("nodes = %v, missing %s", ans.Nodes, want)
+		}
+	}
+}

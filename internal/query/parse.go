@@ -1,0 +1,201 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"provpriv/internal/search"
+)
+
+// Parse parses the textual query language:
+//
+//	MATCH <var> = "<phrase>" {, <var> = "<phrase>"}
+//	[WHERE <var> (->|~>) <var> {, <var> (->|~>) <var>}]
+//	[RETURN provenance(<var>) | downstream(<var>) | nodes | bindings]
+//
+// Keywords are case-insensitive. The default RETURN clause is bindings.
+func Parse(s string) (*Query, error) {
+	q := &Query{Vars: make(map[string][]string), Return: ReturnBindings}
+	rest := strings.TrimSpace(s)
+	upper := strings.ToUpper(rest)
+	if !strings.HasPrefix(upper, "MATCH") {
+		return nil, fmt.Errorf("query: expected MATCH, got %q", firstWord(rest))
+	}
+	rest = strings.TrimSpace(rest[len("MATCH"):])
+
+	matchPart, wherePart, returnPart, err := splitClauses(rest)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, decl := range splitTopLevel(matchPart) {
+		decl = strings.TrimSpace(decl)
+		if decl == "" {
+			continue
+		}
+		eq := strings.Index(decl, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("query: bad declaration %q (want var = \"phrase\")", decl)
+		}
+		name := strings.TrimSpace(decl[:eq])
+		if !isIdent(name) {
+			return nil, fmt.Errorf("query: bad variable name %q", name)
+		}
+		phrase := strings.TrimSpace(decl[eq+1:])
+		if len(phrase) < 2 || phrase[0] != '"' || phrase[len(phrase)-1] != '"' {
+			return nil, fmt.Errorf("query: phrase for %s must be quoted", name)
+		}
+		toks := search.Tokenize(phrase[1 : len(phrase)-1])
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("query: empty phrase for %s", name)
+		}
+		if _, dup := q.Vars[name]; dup {
+			return nil, fmt.Errorf("query: duplicate variable %s", name)
+		}
+		q.Vars[name] = toks
+		q.VarOrder = append(q.VarOrder, name)
+	}
+	if len(q.Vars) == 0 {
+		return nil, fmt.Errorf("query: MATCH clause declares no variables")
+	}
+
+	if wherePart != "" {
+		for _, cons := range strings.Split(wherePart, ",") {
+			cons = strings.TrimSpace(cons)
+			if cons == "" {
+				continue
+			}
+			var direct, negate bool
+			var sep string
+			switch {
+			case strings.Contains(cons, "!~>"):
+				sep, direct, negate = "!~>", false, true
+			case strings.Contains(cons, "!->"):
+				sep, direct, negate = "!->", true, true
+			case strings.Contains(cons, "~>"):
+				sep, direct = "~>", false
+			case strings.Contains(cons, "->"):
+				sep, direct = "->", true
+			default:
+				return nil, fmt.Errorf("query: bad constraint %q (want x -> y, x ~> y, x !-> y or x !~> y)", cons)
+			}
+			parts := strings.SplitN(cons, sep, 2)
+			x, y := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+			if _, ok := q.Vars[x]; !ok {
+				return nil, fmt.Errorf("query: constraint references undeclared variable %q", x)
+			}
+			if _, ok := q.Vars[y]; !ok {
+				return nil, fmt.Errorf("query: constraint references undeclared variable %q", y)
+			}
+			q.Constraints = append(q.Constraints, Constraint{X: x, Y: y, Direct: direct, Negate: negate})
+		}
+	}
+
+	if returnPart != "" {
+		rp := strings.TrimSpace(returnPart)
+		low := strings.ToLower(rp)
+		switch {
+		case low == "nodes":
+			q.Return = ReturnNodes
+		case low == "bindings":
+			q.Return = ReturnBindings
+		case strings.HasPrefix(low, "provenance(") && strings.HasSuffix(rp, ")"):
+			q.Return = ReturnProvenance
+			q.ReturnVar = strings.TrimSpace(rp[len("provenance(") : len(rp)-1])
+		case strings.HasPrefix(low, "downstream(") && strings.HasSuffix(rp, ")"):
+			q.Return = ReturnDownstream
+			q.ReturnVar = strings.TrimSpace(rp[len("downstream(") : len(rp)-1])
+		default:
+			return nil, fmt.Errorf("query: bad RETURN clause %q", rp)
+		}
+		if q.Return == ReturnProvenance || q.Return == ReturnDownstream {
+			if _, ok := q.Vars[q.ReturnVar]; !ok {
+				return nil, fmt.Errorf("query: RETURN references undeclared variable %q", q.ReturnVar)
+			}
+		}
+	}
+	return q, nil
+}
+
+// splitClauses splits "…match… WHERE …where… RETURN …return…".
+func splitClauses(s string) (matchPart, wherePart, returnPart string, err error) {
+	upper := strings.ToUpper(s)
+	wi := indexWord(upper, "WHERE")
+	ri := indexWord(upper, "RETURN")
+	switch {
+	case wi >= 0 && ri >= 0 && wi < ri:
+		return s[:wi], s[wi+5 : ri], s[ri+6:], nil
+	case wi >= 0 && ri >= 0:
+		return "", "", "", fmt.Errorf("query: WHERE must precede RETURN")
+	case wi >= 0:
+		return s[:wi], s[wi+5:], "", nil
+	case ri >= 0:
+		return s[:ri], "", s[ri+6:], nil
+	default:
+		return s, "", "", nil
+	}
+}
+
+// indexWord finds a keyword at a word boundary.
+func indexWord(s, word string) int {
+	for from := 0; ; {
+		i := strings.Index(s[from:], word)
+		if i < 0 {
+			return -1
+		}
+		i += from
+		before := i == 0 || s[i-1] == ' ' || s[i-1] == '\t' || s[i-1] == '\n'
+		afterIdx := i + len(word)
+		after := afterIdx >= len(s) || s[afterIdx] == ' ' || s[afterIdx] == '\t' || s[afterIdx] == '\n'
+		if before && after {
+			return i
+		}
+		from = i + len(word)
+	}
+}
+
+// splitTopLevel splits on commas outside quoted strings.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func firstWord(s string) string {
+	f := strings.Fields(s)
+	if len(f) == 0 {
+		return ""
+	}
+	return f[0]
+}

@@ -1,0 +1,111 @@
+package query
+
+import (
+	"fmt"
+
+	"provpriv/internal/datapriv"
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/workflow"
+)
+
+// ZoomOut implements the evaluation strategy Section 4 sketches as an
+// alternative to evaluating directly on the access view: "One approach
+// would be to first construct a full answer, oblivious to the privacy
+// requirement. If the result reveals sensitive information, we may
+// gradually 'zoom-out' the view by hiding details of composite modules
+// and sensitive data, until privacy is achieved."
+//
+// Starting from the finest prefix, the answer is computed and checked
+// for leaks (module executions below the user's module-privacy level,
+// workflows outside the access view); on a leak the deepest offending
+// workflow is removed from the prefix and evaluation repeats. The
+// returned Answer is the first leak-free one; Steps reports how many
+// zoom-outs were needed — the cost the paper warns about ("this can be
+// expensive as each zoom-out may involve a disk access").
+type ZoomOutResult struct {
+	Answer *Answer
+	Prefix workflow.Prefix
+	Steps  int
+}
+
+// ZoomOut evaluates q against e with the gradual zoom-out strategy.
+func (ev *Evaluator) ZoomOut(q *Query, e *exec.Execution, pol *privacy.Policy, level privacy.Level) (*ZoomOutResult, error) {
+	h, err := workflow.NewHierarchy(ev.Spec)
+	if err != nil {
+		return nil, err
+	}
+	access := pol.AccessView(h, level)
+	prefix := workflow.FullPrefix(h)
+	masker := datapriv.NewMasker(pol, nil)
+
+	steps := 0
+	for {
+		view, err := exec.Collapse(e, ev.Spec, prefix)
+		if err != nil {
+			return nil, err
+		}
+		masked, _ := masker.Mask(view, level)
+		ans, err := ev.evaluate(q, masked, pol, level, steps > 0)
+		if err != nil {
+			return nil, err
+		}
+		offender := ev.findLeak(ans, masked, access, pol, level, prefix, h)
+		if offender == "" {
+			return &ZoomOutResult{Answer: ans, Prefix: prefix, Steps: steps}, nil
+		}
+		delete(prefix, offender)
+		// Removing a workflow orphans its descendants: drop them too so
+		// the prefix stays valid.
+		for _, wid := range h.All() {
+			if prefix.Contains(wid) && wid != h.Root && !prefix.Contains(h.Parent(wid)) {
+				delete(prefix, wid)
+			}
+		}
+		steps++
+		if steps > len(h.All()) {
+			return nil, fmt.Errorf("query: zoom-out did not converge")
+		}
+	}
+}
+
+// findLeak returns the deepest workflow whose detail the current view
+// exposes but the user may not see, or "" when the view is safe. Since
+// the paper defines query answers as views of the flow, the whole
+// evaluation view is considered published — not just the bound nodes —
+// so a leak is: any node executing inside a workflow outside the access
+// view, or any visible execution of a module below the user's
+// module-privacy level.
+func (ev *Evaluator) findLeak(ans *Answer, view *exec.Execution, access workflow.Prefix, pol *privacy.Policy, level privacy.Level, prefix workflow.Prefix, h *workflow.Hierarchy) string {
+	_ = ans
+	var worst string
+	worstDepth := -1
+	for _, n := range view.Nodes {
+		// Module privacy: an exposed execution of a protected module
+		// forces the enclosing workflow shut.
+		if n.Module != "" && !pol.CanSeeModule(level, n.Module) {
+			if wid := ev.workflowOf(n.Module); wid != "" && prefix.Contains(wid) && wid != h.Root {
+				if d := h.Depth(wid); d > worstDepth {
+					worst, worstDepth = wid, d
+				}
+			}
+		}
+		// Access view: nodes inside workflows beyond the user's view.
+		for _, f := range n.Frames {
+			if !access.Contains(f.Sub) && prefix.Contains(f.Sub) {
+				if d := h.Depth(f.Sub); d > worstDepth {
+					worst, worstDepth = f.Sub, d
+				}
+			}
+		}
+	}
+	return worst
+}
+
+func (ev *Evaluator) workflowOf(moduleID string) string {
+	_, w := ev.Spec.FindModule(moduleID)
+	if w == nil {
+		return ""
+	}
+	return w.ID
+}

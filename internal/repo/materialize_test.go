@@ -1,0 +1,130 @@
+package repo
+
+import (
+	"strings"
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/workflow"
+)
+
+func TestMaterializedProvenanceMatchesOnTheFly(t *testing.T) {
+	// Two identical repositories, one materialized — answers must agree.
+	plain := seededRepo(t)
+	mat := seededRepo(t)
+	if err := mat.EnableMaterialization([]privacy.Level{privacy.Public, privacy.Analyst}); err != nil {
+		t.Fatalf("EnableMaterialization: %v", err)
+	}
+	e := func(r *Repository) *exec.Execution {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return r.execs["disease-susceptibility"]["E1"]
+	}(plain)
+	var progID string
+	for id, it := range e.Items {
+		if it.Attr == "prognosis" {
+			progID = id
+		}
+	}
+	for _, user := range []string{"bob", "carol"} { // public, analyst
+		a, errA := plain.Provenance(user, "disease-susceptibility", "E1", progID)
+		b, errB := mat.Provenance(user, "disease-susceptibility", "E1", progID)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", user, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if strings.Join(a.NodeIDs(), ",") != strings.Join(b.NodeIDs(), ",") {
+			t.Fatalf("%s: nodes differ:\n%v\n%v", user, a.NodeIDs(), b.NodeIDs())
+		}
+		for id, it := range a.Items {
+			bit := b.Items[id]
+			if bit == nil || bit.Redacted != it.Redacted || bit.Value != it.Value {
+				t.Fatalf("%s: item %s differs: %+v vs %+v", user, id, it, bit)
+			}
+		}
+	}
+}
+
+func TestMaterializationCoversNewExecutions(t *testing.T) {
+	r := seededRepo(t)
+	if err := r.EnableMaterialization([]privacy.Level{privacy.Public}); err != nil {
+		t.Fatalf("EnableMaterialization: %v", err)
+	}
+	// Add a second execution after enabling.
+	spec := r.Spec("disease-susceptibility")
+	e2, err := exec.NewRunner(spec, nil).Run("E2", map[string]exec.Value{
+		"snps": "rs9", "ethnicity": "eth2", "lifestyle": "sedentary",
+		"family_history": "none", "symptoms": "cough",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := r.AddExecution(e2); err != nil {
+		t.Fatalf("AddExecution: %v", err)
+	}
+	var progID string
+	for id, it := range e2.Items {
+		if it.Attr == "prognosis" {
+			progID = id
+		}
+	}
+	prov, err := r.Provenance("bob", "disease-susceptibility", "E2", progID)
+	if err != nil {
+		t.Fatalf("Provenance: %v", err)
+	}
+	if len(prov.Nodes) == 0 {
+		t.Fatal("empty provenance from materialized path")
+	}
+}
+
+func TestMaterializationHidesInternalItems(t *testing.T) {
+	r := seededRepo(t)
+	if err := r.EnableMaterialization([]privacy.Level{privacy.Public}); err != nil {
+		t.Fatalf("EnableMaterialization: %v", err)
+	}
+	e := func() *exec.Execution {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return r.execs["disease-susceptibility"]["E1"]
+	}()
+	var internalID string
+	for id, it := range e.Items {
+		if it.Attr == "snp_set" {
+			internalID = id
+		}
+	}
+	if _, err := r.Provenance("bob", "disease-susceptibility", "E1", internalID); err == nil {
+		t.Fatal("internal item visible through materialized view")
+	}
+}
+
+func TestMaterializationNewSpecRegistered(t *testing.T) {
+	r := New()
+	r.AddUser(privacy.User{Name: "u", Level: privacy.Public, Group: "g"})
+	if err := r.EnableMaterialization([]privacy.Level{privacy.Public}); err != nil {
+		t.Fatalf("EnableMaterialization: %v", err)
+	}
+	spec := workflow.DiseaseSusceptibility()
+	if err := r.AddSpec(spec, nil); err != nil {
+		t.Fatalf("AddSpec: %v", err)
+	}
+	e, _ := exec.NewRunner(spec, nil).Run("E1", map[string]exec.Value{
+		"snps": "rs1", "ethnicity": "e", "lifestyle": "l",
+		"family_history": "f", "symptoms": "s",
+	})
+	if err := r.AddExecution(e); err != nil {
+		t.Fatalf("AddExecution after enable: %v", err)
+	}
+	var progID string
+	for id, it := range e.Items {
+		if it.Attr == "prognosis" {
+			progID = id
+		}
+	}
+	if _, err := r.Provenance("u", spec.ID, "E1", progID); err != nil {
+		t.Fatalf("Provenance: %v", err)
+	}
+}

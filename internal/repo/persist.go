@@ -1,0 +1,151 @@
+package repo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/workflow"
+)
+
+// Persistence: a Repository serializes to a directory of JSON files —
+// one per spec, policy and execution, plus a manifest and the user
+// registry. The layout matches cmd/provgen's, so generated corpora and
+// saved repositories are interchangeable.
+
+type manifest struct {
+	Specs      []string       `json:"specs"`
+	Policies   []string       `json:"policies,omitempty"`
+	Executions []string       `json:"executions"`
+	Users      []privacy.User `json:"users,omitempty"`
+}
+
+// Save writes the repository's contents to dir (created if missing).
+// Indexes and caches are not persisted; Load rebuilds them.
+func (r *Repository) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("repo: save: %w", err)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var man manifest
+	for i, sid := range r.specIDsLocked() {
+		specPath := fmt.Sprintf("spec-%d.json", i)
+		if err := writeJSON(filepath.Join(dir, specPath), r.specs[sid]); err != nil {
+			return err
+		}
+		man.Specs = append(man.Specs, specPath)
+		polPath := fmt.Sprintf("policy-%d.json", i)
+		if err := writeJSON(filepath.Join(dir, polPath), r.policies[sid]); err != nil {
+			return err
+		}
+		man.Policies = append(man.Policies, polPath)
+		for j, eid := range r.executionIDsLocked(sid) {
+			execPath := fmt.Sprintf("exec-%d-%d.json", i, j)
+			if err := writeJSON(filepath.Join(dir, execPath), r.execs[sid][eid]); err != nil {
+				return err
+			}
+			man.Executions = append(man.Executions, execPath)
+		}
+	}
+	for _, name := range sortedUserNamesLocked(r) {
+		man.Users = append(man.Users, *r.users[name])
+	}
+	return writeJSON(filepath.Join(dir, "manifest.json"), man)
+}
+
+func (r *Repository) executionIDsLocked(specID string) []string {
+	ids := make([]string, 0, len(r.execs[specID]))
+	for id := range r.execs[specID] {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	return ids
+}
+
+func sortedUserNamesLocked(r *Repository) []string {
+	names := make([]string, 0, len(r.users))
+	for n := range r.users {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("repo: encode %s: %w", filepath.Base(path), err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("repo: write %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// Load reads a repository directory (written by Save or cmd/provgen)
+// into a fresh Repository, validating everything and rebuilding the
+// indexes.
+func Load(dir string) (*Repository, error) {
+	manData, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("repo: load: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(manData, &man); err != nil {
+		return nil, fmt.Errorf("repo: load manifest: %w", err)
+	}
+	r := New()
+	for i, specPath := range man.Specs {
+		data, err := os.ReadFile(filepath.Join(dir, specPath))
+		if err != nil {
+			return nil, fmt.Errorf("repo: load: %w", err)
+		}
+		spec, err := workflow.UnmarshalSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		var pol *privacy.Policy
+		if i < len(man.Policies) {
+			pdata, err := os.ReadFile(filepath.Join(dir, man.Policies[i]))
+			if err != nil {
+				return nil, fmt.Errorf("repo: load: %w", err)
+			}
+			pol = &privacy.Policy{}
+			if err := json.Unmarshal(pdata, pol); err != nil {
+				return nil, fmt.Errorf("repo: load policy %s: %w", man.Policies[i], err)
+			}
+		}
+		if err := r.AddSpec(spec, pol); err != nil {
+			return nil, err
+		}
+	}
+	for _, execPath := range man.Executions {
+		data, err := os.ReadFile(filepath.Join(dir, execPath))
+		if err != nil {
+			return nil, fmt.Errorf("repo: load: %w", err)
+		}
+		e, err := exec.UnmarshalExecution(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.AddExecution(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range man.Users {
+		r.AddUser(u)
+	}
+	return r, nil
+}

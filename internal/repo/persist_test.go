@@ -1,0 +1,102 @@
+package repo
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := seededRepo(t)
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a, b := r.Stats(), r2.Stats()
+	if a != b {
+		t.Fatalf("stats differ: %+v vs %+v", a, b)
+	}
+	// Search behaves identically after the round trip (incl. policies).
+	for _, user := range []string{"alice", "bob", "carol"} {
+		h1, err1 := r.Search(user, "database, disorder risks", SearchOptions{BypassCache: true})
+		h2, err2 := r2.Search(user, "database, disorder risks", SearchOptions{BypassCache: true})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: err mismatch %v vs %v", user, err1, err2)
+		}
+		if len(h1) != len(h2) {
+			t.Fatalf("%s: hit counts %d vs %d", user, len(h1), len(h2))
+		}
+		for i := range h1 {
+			if h1[i].SpecID != h2[i].SpecID ||
+				strings.Join(h1[i].Result.Prefix.IDs(), ",") != strings.Join(h2[i].Result.Prefix.IDs(), ",") {
+				t.Fatalf("%s: hit %d differs", user, i)
+			}
+		}
+	}
+	// Provenance answers match too.
+	ans1, err := r.Query("alice", "disease-susceptibility", "E1", `MATCH a = "reformat"`)
+	if err != nil {
+		t.Fatalf("Query r: %v", err)
+	}
+	ans2, err := r2.Query("alice", "disease-susceptibility", "E1", `MATCH a = "reformat"`)
+	if err != nil {
+		t.Fatalf("Query r2: %v", err)
+	}
+	if len(ans1.Bindings) != len(ans2.Bindings) {
+		t.Fatal("query answers differ after round trip")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestLoadCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestLoadCorruptSpec(t *testing.T) {
+	dir := t.TempDir()
+	r := seededRepo(t)
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "spec-0.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt spec accepted")
+	}
+}
+
+func TestSaveIsLoadableByProvgenFormat(t *testing.T) {
+	// The manifest layout matches cmd/provgen: specs, policies,
+	// executions keys present.
+	dir := t.TempDir()
+	r := seededRepo(t)
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"specs"`, `"policies"`, `"executions"`, `"users"`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("manifest missing %s:\n%s", key, data)
+		}
+	}
+}

@@ -1,0 +1,694 @@
+// Package repo implements the provenance-aware workflow repository the
+// paper envisions (Section 1): a shared store of workflow specifications
+// and provenance graphs that many users — with different access levels —
+// search and query. Privacy is enforced inside the query engine rather
+// than by maintaining one repository copy per privilege level ("the
+// alternative would be to create multiple repositories corresponding to
+// different levels of access, which would lead to inconsistencies,
+// inefficiency, and a lack of flexibility").
+//
+// The repository wires together the other packages: privacy-classified
+// inverted and reachability indexes (index), minimal-view keyword search
+// (search), TF-IDF ranking with optional score bucketing (rank),
+// structural queries with privacy-controlled semantics (query), and
+// masked provenance retrieval (datapriv + exec views).
+package repo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"provpriv/internal/datapriv"
+	"provpriv/internal/exec"
+	"provpriv/internal/index"
+	"provpriv/internal/privacy"
+	"provpriv/internal/query"
+	"provpriv/internal/rank"
+	"provpriv/internal/search"
+	"provpriv/internal/workflow"
+)
+
+// Repository is a concurrency-safe store of specs, executions, policies
+// and users, with privacy-aware search and query entry points.
+type Repository struct {
+	mu       sync.RWMutex
+	specs    map[string]*workflow.Spec
+	hier     map[string]*workflow.Hierarchy
+	execs    map[string]map[string]*exec.Execution
+	policies map[string]*privacy.Policy
+	users    map[string]*privacy.User
+
+	inverted *index.Inverted
+	reach    *index.ReachIndex
+	cache    *index.Cache
+
+	// viewStore, when non-nil, holds pre-collapsed, pre-masked views of
+	// executions at the materialized levels (Section 4's materialized-
+	// views direction); Provenance consults it before collapsing on the
+	// fly.
+	viewStore *index.ViewStore
+	matLevels []privacy.Level
+
+	// hierarchies holds optional per-spec generalization ladders used by
+	// data-privacy masking (values are coarsened instead of redacted).
+	hierarchies map[string]map[string]*datapriv.Hierarchy
+
+	corpusMu sync.Mutex
+	corpora  map[privacy.Level]*rank.Corpus
+}
+
+// New returns an empty repository.
+func New() *Repository {
+	cache, _ := index.NewCache(256)
+	return &Repository{
+		specs:    make(map[string]*workflow.Spec),
+		hier:     make(map[string]*workflow.Hierarchy),
+		execs:    make(map[string]map[string]*exec.Execution),
+		policies: make(map[string]*privacy.Policy),
+		users:    make(map[string]*privacy.User),
+		cache:    cache,
+		corpora:  make(map[privacy.Level]*rank.Corpus),
+	}
+}
+
+// AddSpec registers a validated spec with its policy (nil for an
+// all-public policy). Indexes are updated incrementally.
+func (r *Repository) AddSpec(s *workflow.Spec, pol *privacy.Policy) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	h, err := workflow.NewHierarchy(s)
+	if err != nil {
+		return err
+	}
+	if pol == nil {
+		pol = privacy.NewPolicy(s.ID)
+	}
+	if err := pol.Validate(s); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[s.ID]; dup {
+		return fmt.Errorf("repo: spec %s already registered", s.ID)
+	}
+	r.specs[s.ID] = s
+	r.hier[s.ID] = h
+	r.policies[s.ID] = pol
+	if r.viewStore != nil {
+		if err := r.viewStore.RegisterSpec(s, pol, r.matLevels); err != nil {
+			return err
+		}
+	}
+	// Incremental index maintenance: add this spec's postings and
+	// closure, invalidate corpora and the result cache.
+	if r.inverted == nil {
+		r.inverted = index.BuildInverted(nil, nil)
+	}
+	r.inverted.AddSpec(s, pol)
+	if r.reach == nil {
+		reach, err := index.BuildReach(nil)
+		if err != nil {
+			return err
+		}
+		r.reach = reach
+	}
+	if err := r.reach.AddSpec(s); err != nil {
+		r.inverted.RemoveSpec(s.ID)
+		return err
+	}
+	r.corpusMu.Lock()
+	r.corpora = make(map[privacy.Level]*rank.Corpus)
+	r.corpusMu.Unlock()
+	r.cache, _ = index.NewCache(256)
+	return nil
+}
+
+func (r *Repository) specIDsLocked() []string {
+	ids := make([]string, 0, len(r.specs))
+	for id := range r.specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// SpecIDs returns the registered spec ids, sorted.
+func (r *Repository) SpecIDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.specIDsLocked()
+}
+
+// Spec returns a registered spec, or nil.
+func (r *Repository) Spec(id string) *workflow.Spec {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.specs[id]
+}
+
+// Policy returns the policy of a spec, or nil.
+func (r *Repository) Policy(specID string) *privacy.Policy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.policies[specID]
+}
+
+// AddExecution stores a validated execution of a registered spec.
+func (r *Repository) AddExecution(e *exec.Execution) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.specs[e.SpecID] == nil {
+		return fmt.Errorf("repo: execution %s references unknown spec %s", e.ID, e.SpecID)
+	}
+	if r.execs[e.SpecID] == nil {
+		r.execs[e.SpecID] = make(map[string]*exec.Execution)
+	}
+	if _, dup := r.execs[e.SpecID][e.ID]; dup {
+		return fmt.Errorf("repo: execution %s already registered", e.ID)
+	}
+	r.execs[e.SpecID][e.ID] = e
+	if r.viewStore != nil {
+		if err := r.viewStore.Materialize(e); err != nil {
+			delete(r.execs[e.SpecID], e.ID)
+			return fmt.Errorf("repo: materialize views: %w", err)
+		}
+	}
+	return nil
+}
+
+// EnableMaterialization turns on materialized privacy views at the
+// given access levels: every registered and future execution gets one
+// pre-collapsed, pre-masked copy per level, and Provenance serves from
+// them. Trades memory for per-query collapse cost (bench
+// BenchmarkMaterializedViews).
+func (r *Repository) EnableMaterialization(levels []privacy.Level) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := index.NewViewStore()
+	for _, sid := range r.specIDsLocked() {
+		if err := vs.RegisterSpec(r.specs[sid], r.policies[sid], levels); err != nil {
+			return err
+		}
+	}
+	for _, sid := range r.specIDsLocked() {
+		for _, e := range r.execs[sid] {
+			if err := vs.Materialize(e); err != nil {
+				return err
+			}
+		}
+	}
+	r.viewStore = vs
+	r.matLevels = append([]privacy.Level(nil), levels...)
+	return nil
+}
+
+// RemoveSpec unregisters a spec, its policy, its executions and its
+// index entries. Queries against it fail afterwards.
+func (r *Repository) RemoveSpec(specID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.specs[specID] == nil {
+		return fmt.Errorf("repo: unknown spec %q", specID)
+	}
+	delete(r.specs, specID)
+	delete(r.hier, specID)
+	delete(r.policies, specID)
+	delete(r.execs, specID)
+	if r.hierarchies != nil {
+		delete(r.hierarchies, specID)
+	}
+	if r.inverted != nil {
+		r.inverted.RemoveSpec(specID)
+	}
+	r.corpusMu.Lock()
+	r.corpora = make(map[privacy.Level]*rank.Corpus)
+	r.corpusMu.Unlock()
+	r.cache, _ = index.NewCache(256)
+	return nil
+}
+
+// SetGeneralization installs generalization hierarchies for a spec's
+// protected attributes: masking then coarsens values (e.g. exact SNP →
+// chromosome → genome) instead of redacting them outright, preserving
+// utility for under-privileged users. Call before executions are
+// materialized.
+func (r *Repository) SetGeneralization(specID string, hs map[string]*datapriv.Hierarchy) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.specs[specID] == nil {
+		return fmt.Errorf("repo: unknown spec %q", specID)
+	}
+	if r.hierarchies == nil {
+		r.hierarchies = make(map[string]map[string]*datapriv.Hierarchy)
+	}
+	r.hierarchies[specID] = hs
+	return nil
+}
+
+func (r *Repository) maskerFor(specID string) *datapriv.Masker {
+	return datapriv.NewMasker(r.policies[specID], r.hierarchies[specID])
+}
+
+// ExecutionIDs lists executions of a spec, sorted.
+func (r *Repository) ExecutionIDs(specID string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.execs[specID]))
+	for id := range r.execs[specID] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// AddUser registers (or replaces) a user.
+func (r *Repository) AddUser(u privacy.User) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := u
+	r.users[u.Name] = &cp
+}
+
+// User looks up a registered user.
+func (r *Repository) User(name string) (*privacy.User, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u := r.users[name]
+	if u == nil {
+		return nil, fmt.Errorf("repo: unknown user %q", name)
+	}
+	cp := *u
+	return &cp, nil
+}
+
+// corpusFor lazily builds the TF-IDF corpus visible at a level: each
+// spec is a document whose terms come only from modules the level may
+// see (module privacy) — the leak-free "visible-only scoring" mode.
+// Callers must hold r.mu (read suffices); corpusMu serializes the lazy
+// fill so concurrent readers do not race on the map.
+func (r *Repository) corpusFor(level privacy.Level) *rank.Corpus {
+	r.corpusMu.Lock()
+	defer r.corpusMu.Unlock()
+	if c := r.corpora[level]; c != nil {
+		return c
+	}
+	c := rank.NewCorpus()
+	for _, sid := range r.specIDsLocked() {
+		s := r.specs[sid]
+		pol := r.policies[sid]
+		var terms []string
+		for _, wid := range s.WorkflowIDs() {
+			for _, m := range s.Workflows[wid].Modules {
+				if pol != nil && !pol.CanSeeModule(level, m.ID) {
+					continue
+				}
+				for _, kw := range m.AllKeywords() {
+					terms = append(terms, search.Normalize(kw))
+				}
+			}
+		}
+		c.Add(sid, terms)
+	}
+	r.corpora[level] = c
+	return c
+}
+
+// SearchHit is one ranked repository search result.
+type SearchHit struct {
+	SpecID string
+	Score  float64
+	Result *search.Result
+}
+
+// SearchOptions tunes repository search.
+type SearchOptions struct {
+	// Buckets > 0 publishes bucketized scores (privacy-aware ranking).
+	Buckets int
+	// BypassCache disables the per-group result cache.
+	BypassCache bool
+}
+
+// Search runs a keyword query as the given user: candidate specs come
+// from the privacy-classified inverted index, each is answered with its
+// minimal view clipped to the user's access view, and results are
+// ranked by TF-IDF over the level's visible corpus.
+func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]SearchHit, error) {
+	u, err := r.User(userName)
+	if err != nil {
+		return nil, err
+	}
+	phrases := search.ParseQuery(queryText)
+	if len(phrases) == 0 {
+		return nil, fmt.Errorf("repo: empty query")
+	}
+
+	cacheKey := fmt.Sprintf("search|%s|%d", queryText, opts.Buckets)
+	if !opts.BypassCache {
+		if v, ok := r.cacheGet(u.Group, cacheKey); ok {
+			return v.([]SearchHit), nil
+		}
+	}
+
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	// Candidate specs: any spec with a visible posting for the first
+	// term of some phrase.
+	candidates := make(map[string]bool)
+	for _, phrase := range phrases {
+		for _, p := range r.inverted.Lookup(phrase[0], u.Level) {
+			candidates[p.SpecID] = true
+		}
+	}
+	var hits []SearchHit
+	corpus := r.corpusFor(u.Level)
+	var flat []string
+	for _, phrase := range phrases {
+		flat = append(flat, phrase...)
+	}
+	ranked := corpus.Rank(flat)
+	if opts.Buckets > 0 {
+		ranked = rank.Bucketize(ranked, opts.Buckets)
+	}
+	scoreOf := make(map[string]float64, len(ranked))
+	for _, rk := range ranked {
+		scoreOf[rk.Doc] = rk.Score
+	}
+
+	for sid := range candidates {
+		s := r.specs[sid]
+		pol := r.policies[sid]
+		access := pol.AccessView(r.hier[sid], u.Level)
+		res, err := search.SearchWithAccess(s, phrases, access, pol, u.Level)
+		if err != nil {
+			continue // some phrase unmatched in this spec
+		}
+		hits = append(hits, SearchHit{SpecID: sid, Score: scoreOf[sid], Result: res})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].SpecID < hits[j].SpecID
+	})
+	if !opts.BypassCache {
+		r.cachePut(u.Group, cacheKey, hits)
+	}
+	return hits, nil
+}
+
+func (r *Repository) cacheGet(group, key string) (any, bool) {
+	r.mu.RLock()
+	c := r.cache
+	r.mu.RUnlock()
+	return c.Get(group, key)
+}
+
+func (r *Repository) cachePut(group, key string, v any) {
+	c := r.cache // callers hold r.mu
+	c.Put(group, key, v)
+}
+
+// CacheStats exposes cache hit/miss counters.
+func (r *Repository) CacheStats() (hits, misses int) {
+	r.mu.RLock()
+	c := r.cache
+	r.mu.RUnlock()
+	return c.Stats()
+}
+
+// Query evaluates a structural query (see query.Parse) against one
+// execution under the user's privacy constraints.
+func (r *Repository) Query(userName, specID, execID, queryText string) (*query.Answer, error) {
+	u, err := r.User(userName)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.specs[specID]
+	if s == nil {
+		return nil, fmt.Errorf("repo: unknown spec %q", specID)
+	}
+	e := r.execs[specID][execID]
+	if e == nil {
+		return nil, fmt.Errorf("repo: unknown execution %q of %s", execID, specID)
+	}
+	ev := query.NewEvaluator(s)
+	return ev.EvaluateWithPrivacy(q, e, r.policies[specID], u.Level)
+}
+
+// Reaches answers the paper's core structural-privacy question — "does
+// module from contribute to the data produced by module to?" — as
+// visible to the user:
+//
+//   - pairs listed in the policy's Structural requirements above the
+//     user's level answer false (the connection is confidential);
+//   - modules invisible at the user's access view are resolved to the
+//     composite module that represents them, so the answer is at the
+//     granularity the user is entitled to; if both endpoints collapse
+//     into the same composite, the relationship is not externally
+//     visible and the answer is false.
+//
+// Note this is answer-time enforcement for the exact pairs; publishers
+// wanting protection against multi-query inference should additionally
+// transform the published view with structpriv (cut or cluster).
+func (r *Repository) Reaches(userName, specID, from, to string) (bool, error) {
+	u, err := r.User(userName)
+	if err != nil {
+		return false, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.specs[specID]
+	if s == nil {
+		return false, fmt.Errorf("repo: unknown spec %q", specID)
+	}
+	pol := r.policies[specID]
+	for _, hp := range pol.HiddenPairsFor(u.Level) {
+		if hp.From == from && hp.To == to {
+			return false, nil
+		}
+	}
+	h := r.hier[specID]
+	access := pol.AccessView(h, u.Level)
+	if len(access) == len(h.All()) {
+		// Full access view: answer from the precomputed full-expansion
+		// closure, O(1). Composite endpoints don't appear in the full
+		// expansion; fall through to the view path for those.
+		mf, _ := s.FindModule(from)
+		mt, _ := s.FindModule(to)
+		if mf == nil {
+			return false, fmt.Errorf("repo: unknown module %q", from)
+		}
+		if mt == nil {
+			return false, fmt.Errorf("repo: unknown module %q", to)
+		}
+		if mf.Kind != workflow.Composite && mt.Kind != workflow.Composite {
+			return r.reach.Reaches(specID, from, to), nil
+		}
+	}
+	v, err := workflow.Expand(s, access)
+	if err != nil {
+		return false, err
+	}
+	g := v.Graph()
+	rf, err := r.visibleRepr(s, h, v, from, access)
+	if err != nil {
+		return false, err
+	}
+	rt, err := r.visibleRepr(s, h, v, to, access)
+	if err != nil {
+		return false, err
+	}
+	if rf == rt {
+		return false, nil // inside one composite: not externally visible
+	}
+	return g.Reachable(g.Lookup(rf), g.Lookup(rt)), nil
+}
+
+// visibleRepr maps a module id to the module that represents it in the
+// given view: itself when visible, else the via-module of its shallowest
+// hidden ancestor workflow.
+func (r *Repository) visibleRepr(s *workflow.Spec, h *workflow.Hierarchy, v *workflow.View, moduleID string, access workflow.Prefix) (string, error) {
+	if v.Module(moduleID) != nil {
+		return moduleID, nil
+	}
+	m, w := s.FindModule(moduleID)
+	if m == nil {
+		return "", fmt.Errorf("repo: unknown module %q", moduleID)
+	}
+	// Walk the workflow chain root..w; the first workflow outside the
+	// access view is represented by its via-module.
+	var chain []string
+	for cur := w.ID; cur != ""; cur = h.Parent(cur) {
+		chain = append([]string{cur}, chain...)
+		if cur == h.Root {
+			break
+		}
+	}
+	for _, wid := range chain {
+		if !access.Contains(wid) {
+			return h.ViaModule(wid), nil
+		}
+	}
+	return "", fmt.Errorf("repo: module %q not resolvable in view", moduleID)
+}
+
+// QueryZoomOut evaluates a structural query with the paper's gradual
+// zoom-out strategy (Section 4): compute the full answer, then coarsen
+// composite detail until no privacy leak remains. Steps in the result
+// counts the re-evaluations — compare with the direct Query path.
+func (r *Repository) QueryZoomOut(userName, specID, execID, queryText string) (*query.ZoomOutResult, error) {
+	u, err := r.User(userName)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.specs[specID]
+	if s == nil {
+		return nil, fmt.Errorf("repo: unknown spec %q", specID)
+	}
+	e := r.execs[specID][execID]
+	if e == nil {
+		return nil, fmt.Errorf("repo: unknown execution %q of %s", execID, specID)
+	}
+	ev := query.NewEvaluator(s)
+	return ev.ZoomOut(q, e, r.policies[specID], u.Level)
+}
+
+// QuerySpec evaluates a structural query against a specification (not
+// an execution): variables bind to modules of the user's access view,
+// with module privacy applied — "find workflows where Expand SNP Set
+// feeds Query OMIM" without touching provenance.
+func (r *Repository) QuerySpec(userName, specID, queryText string) (*query.SpecAnswer, error) {
+	u, err := r.User(userName)
+	if err != nil {
+		return nil, err
+	}
+	q, err := query.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.specs[specID]
+	if s == nil {
+		return nil, fmt.Errorf("repo: unknown spec %q", specID)
+	}
+	pol := r.policies[specID]
+	access := pol.AccessView(r.hier[specID], u.Level)
+	v, err := workflow.Expand(s, access)
+	if err != nil {
+		return nil, err
+	}
+	return query.EvaluateSpec(q, v, pol, u.Level)
+}
+
+// QueryAll evaluates a structural query against every execution of a
+// spec, returning non-empty answers.
+func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answer, error) {
+	var out []*query.Answer
+	for _, eid := range r.ExecutionIDs(specID) {
+		ans, err := r.Query(userName, specID, eid, queryText)
+		if err != nil {
+			return nil, err
+		}
+		if len(ans.Bindings) > 0 {
+			out = append(out, ans)
+		}
+	}
+	return out, nil
+}
+
+// Provenance returns the provenance of a data item as the user may see
+// it: the execution is collapsed to the user's access view, values are
+// masked per the data policy, and the provenance subgraph is extracted
+// from that view. An item hidden by the view is reported as not
+// visible.
+func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.Execution, error) {
+	u, err := r.User(userName)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.specs[specID]
+	if s == nil {
+		return nil, fmt.Errorf("repo: unknown spec %q", specID)
+	}
+	e := r.execs[specID][execID]
+	if e == nil {
+		return nil, fmt.Errorf("repo: unknown execution %q of %s", execID, specID)
+	}
+	pol := r.policies[specID]
+	// Fast path: a materialized view at exactly this level. Disabled
+	// when the spec has generalization hierarchies, which the view store
+	// does not apply (it redacts) — correctness over speed.
+	if r.viewStore != nil && r.hierarchies[specID] == nil {
+		if v := r.viewStore.Get(specID, execID, u.Level); v != nil {
+			if v.Items[itemID] == nil {
+				return nil, fmt.Errorf("repo: item %s not visible at level %s", itemID, u.Level)
+			}
+			return exec.Provenance(v, itemID)
+		}
+	}
+	access := pol.AccessView(r.hier[specID], u.Level)
+	view, err := exec.Collapse(e, s, access)
+	if err != nil {
+		return nil, err
+	}
+	if view.Items[itemID] == nil {
+		return nil, fmt.Errorf("repo: item %s not visible at level %s", itemID, u.Level)
+	}
+	masked, _ := r.maskerFor(specID).Mask(view, u.Level)
+	return exec.Provenance(masked, itemID)
+}
+
+// Stats summarizes repository contents.
+type Stats struct {
+	Specs      int
+	Executions int
+	Users      int
+	IndexTerms int
+	Postings   int
+}
+
+// Stats returns repository statistics.
+func (r *Repository) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := Stats{Specs: len(r.specs), Users: len(r.users)}
+	for _, m := range r.execs {
+		st.Executions += len(m)
+	}
+	if r.inverted != nil {
+		st.IndexTerms = len(r.inverted.Terms())
+		st.Postings = r.inverted.Postings()
+	}
+	return st
+}
+
+// Describe renders a terse multi-line summary (for the CLI).
+func (r *Repository) Describe() string {
+	st := r.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "specs: %d, executions: %d, users: %d\n", st.Specs, st.Executions, st.Users)
+	fmt.Fprintf(&b, "index: %d terms, %d postings\n", st.IndexTerms, st.Postings)
+	return b.String()
+}

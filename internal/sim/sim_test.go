@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/repo"
+	"provpriv/internal/workflow"
+	"provpriv/internal/workload"
+)
+
+func simRepo(t *testing.T) (*repo.Repository, []privacy.User) {
+	t.Helper()
+	r := repo.New()
+	disease := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(disease.ID)
+	pol.DataLevels["snps"] = privacy.Owner
+	pol.ModuleLevels["M6"] = privacy.Owner
+	pol.ViewGrants[privacy.Registered] = []string{"W2", "W3", "W4"}
+	if err := r.AddSpec(disease, pol); err != nil {
+		t.Fatalf("AddSpec: %v", err)
+	}
+	e, err := exec.NewRunner(disease, nil).Run("E1", map[string]exec.Value{
+		"snps": "rs1", "ethnicity": "e", "lifestyle": "l",
+		"family_history": "f", "symptoms": "s",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := r.AddExecution(e); err != nil {
+		t.Fatalf("AddExecution: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		s, err := workload.RandomSpec(workload.SpecConfig{
+			Seed: int64(i), ID: fmt.Sprintf("s%d", i), Depth: 3, Fanout: 2, Chain: 4,
+		})
+		if err != nil {
+			t.Fatalf("RandomSpec: %v", err)
+		}
+		sp, err := workload.RandomPolicy(s, int64(i))
+		if err != nil {
+			t.Fatalf("RandomPolicy: %v", err)
+		}
+		if err := r.AddSpec(s, sp); err != nil {
+			t.Fatalf("AddSpec: %v", err)
+		}
+		ee, err := exec.NewRunner(s, nil).Run(fmt.Sprintf("s%d-E0", i), workload.RandomInputs(s, int64(i)))
+		if err != nil {
+			t.Fatalf("Run synth: %v", err)
+		}
+		if err := r.AddExecution(ee); err != nil {
+			t.Fatalf("AddExecution synth: %v", err)
+		}
+	}
+	users := []privacy.User{
+		{Name: "u0", Level: privacy.Public, Group: "g0"},
+		{Name: "u1", Level: privacy.Registered, Group: "g1"},
+		{Name: "u2", Level: privacy.Owner, Group: "g2"},
+	}
+	for _, u := range users {
+		r.AddUser(u)
+	}
+	return r, users
+}
+
+func TestSimulationRunsWithoutLeaks(t *testing.T) {
+	r, users := simRepo(t)
+	res, err := Run(r, Config{Seed: 1, Ops: 400, Users: users})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Ops != 400 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.LeakIncidents != 0 {
+		t.Fatalf("LEAKS DETECTED: %d", res.LeakIncidents)
+	}
+	// All kinds exercised under the default mix.
+	for kind, st := range res.ByKind {
+		if st.Ops == 0 {
+			t.Fatalf("kind %s never exercised", kind)
+		}
+	}
+	// Some operations answered.
+	if res.ByKind[OpSearch].Answered == 0 {
+		t.Fatal("no search ever answered")
+	}
+	if res.ByKind[OpProvenance].Answered == 0 {
+		t.Fatal("no provenance ever answered")
+	}
+}
+
+func TestSimulationDeterministicCounts(t *testing.T) {
+	r1, users := simRepo(t)
+	r2, _ := simRepo(t)
+	a, err := Run(r1, Config{Seed: 7, Ops: 150, Users: users})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(r2, Config{Seed: 7, Ops: 150, Users: users})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for kind := range a.ByKind {
+		if a.ByKind[kind].Ops != b.ByKind[kind].Ops ||
+			a.ByKind[kind].Answered != b.ByKind[kind].Answered ||
+			a.ByKind[kind].Errors != b.ByKind[kind].Errors {
+			t.Fatalf("kind %s: nondeterministic counts", kind)
+		}
+	}
+}
+
+func TestSimulationConfigValidation(t *testing.T) {
+	r, users := simRepo(t)
+	if _, err := Run(r, Config{Seed: 1, Ops: 0, Users: users}); err == nil {
+		t.Fatal("ops=0 accepted")
+	}
+	if _, err := Run(r, Config{Seed: 1, Ops: 10}); err == nil {
+		t.Fatal("no users accepted")
+	}
+	empty := repo.New()
+	if _, err := Run(empty, Config{Seed: 1, Ops: 10, Users: users}); err == nil {
+		t.Fatal("empty repository accepted")
+	}
+}
+
+func TestSimulationCustomMix(t *testing.T) {
+	r, users := simRepo(t)
+	res, err := Run(r, Config{Seed: 3, Ops: 100, Users: users, SearchWeight: 100})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ByKind[OpSearch].Ops != 100 {
+		t.Fatalf("search-only mix ran %d searches", res.ByKind[OpSearch].Ops)
+	}
+	if res.ByKind[OpProvenance].Ops != 0 {
+		t.Fatal("provenance ran under search-only mix")
+	}
+}
+
+func TestSimulationRender(t *testing.T) {
+	r, users := simRepo(t)
+	res, _ := Run(r, Config{Seed: 2, Ops: 50, Users: users})
+	out := res.Render()
+	if len(out) == 0 || res.Ops != 50 {
+		t.Fatalf("Render:\n%s", out)
+	}
+}

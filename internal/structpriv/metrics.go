@@ -1,0 +1,136 @@
+package structpriv
+
+import "provpriv/internal/graph"
+
+// Metrics quantifies the utility of a structural-privacy view, in the
+// terms the paper uses ("some function of both the number of correct
+// node connectivity relationships captured and the number of modules
+// disclosed in a result").
+type Metrics struct {
+	// HiddenOK: every requested pair is no longer inferable.
+	HiddenOK bool
+	// TruePairs: ordered reachable pairs (u,v), u≠v, in the original.
+	TruePairs int
+	// PreservedPairs: true pairs still inferable from the view.
+	PreservedPairs int
+	// LostPairs: true pairs between still-visible modules that are no
+	// longer inferable, excluding the requested ones — the collateral
+	// damage of cutting.
+	LostPairs int
+	// ClusterHiddenPairs: true pairs absorbed into a cluster (at least
+	// one endpoint a member, and not explicitly requested) — hidden by
+	// design rather than collaterally, per Section 3's "the reachability
+	// of any pair (u,v) in P is no longer externally visible".
+	ClusterHiddenPairs int
+	// ExtraneousPairs: false pairs inferable from the view — the
+	// unsoundness introduced by clustering.
+	ExtraneousPairs int
+	// ModulesVisible: modules individually visible in the view.
+	ModulesVisible int
+}
+
+// UtilityScore folds the metrics into a single number in [0,1]:
+// the fraction of correct connectivity preserved, penalized by the
+// fraction of extraneous inferences. Soundness and completeness enter
+// symmetrically.
+func (m Metrics) UtilityScore() float64 {
+	if m.TruePairs == 0 {
+		return 1
+	}
+	preserved := float64(m.PreservedPairs) / float64(m.TruePairs)
+	penalty := float64(m.ExtraneousPairs) / float64(m.TruePairs)
+	s := preserved - penalty
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// computeMetrics compares inferable connectivity before and after.
+// nodeMap maps original node names to view node names ("" = removed,
+// cluster members map to the cluster node). clusterSet (may be nil)
+// marks nodes whose pairwise connectivity is hidden rather than lost.
+func computeMetrics(orig, view *graph.Graph, nodeMap map[string]string, requested []Pair, clusterSet map[string]bool) Metrics {
+	var m Metrics
+	origCl, err := graph.NewClosure(orig)
+	if err != nil {
+		return m
+	}
+	viewCl, err := graph.NewClosure(view)
+	if err != nil {
+		return m
+	}
+	req := make(map[Pair]bool, len(requested))
+	for _, p := range requested {
+		req[p] = true
+	}
+	m.ModulesVisible = 0
+	seen := make(map[string]bool)
+	for i := 0; i < view.N(); i++ {
+		seen[view.Name(graph.NodeID(i))] = true
+	}
+	for i := 0; i < orig.N(); i++ {
+		if n := orig.Name(graph.NodeID(i)); seen[n] && nodeMap[n] == n {
+			m.ModulesVisible++
+		}
+	}
+
+	m.HiddenOK = true
+	inferable := func(u, v string) (inf, defined bool) {
+		mu, mv := nodeMap[u], nodeMap[v]
+		if mu == "" || mv == "" {
+			return false, true // endpoint removed: nothing inferable
+		}
+		// Any endpoint inside a cluster: the pair's connectivity is
+		// absorbed by the composite module. These pairs are tallied in
+		// ClusterHiddenPairs by the caller, matching the boundary
+		// semantics of ExtraneousPairs (which only inspects pairs of
+		// visible nodes).
+		if clusterSet != nil && (clusterSet[u] || clusterSet[v]) {
+			return false, false
+		}
+		if mu == mv {
+			return false, true
+		}
+		qu, qv := view.Lookup(mu), view.Lookup(mv)
+		if qu == graph.Invalid || qv == graph.Invalid {
+			return false, true
+		}
+		return viewCl.Reach(qu, qv), true
+	}
+
+	for i := 0; i < orig.N(); i++ {
+		un := orig.Name(graph.NodeID(i))
+		for j := 0; j < orig.N(); j++ {
+			if i == j {
+				continue
+			}
+			vn := orig.Name(graph.NodeID(j))
+			truth := origCl.Reach(graph.NodeID(i), graph.NodeID(j))
+			inf, defined := inferable(un, vn)
+			if !defined {
+				if truth && !req[Pair{From: un, To: vn}] {
+					m.ClusterHiddenPairs++
+				}
+				if truth {
+					m.TruePairs++
+				}
+				continue
+			}
+			if truth {
+				m.TruePairs++
+				if inf {
+					m.PreservedPairs++
+					if req[Pair{From: un, To: vn}] {
+						m.HiddenOK = false
+					}
+				} else if !req[Pair{From: un, To: vn}] {
+					m.LostPairs++
+				}
+			} else if inf {
+				m.ExtraneousPairs++
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,81 @@
+package structpriv
+
+import (
+	"fmt"
+	"sort"
+
+	"provpriv/internal/graph"
+)
+
+// Optimize addresses the optimization problem the paper poses for
+// structural privacy ("guaranteeing an adequate level of privacy while
+// preserving soundness and minimizing unnecessary loss of
+// information"): it tries every available mechanism — edge cut, vertex
+// cut, plain clustering, and sound-grown clustering — scores each
+// candidate view with Metrics.UtilityScore, and returns the best one
+// that hides all requested pairs, subject to the options.
+
+// OptimizeOptions tunes the search.
+type OptimizeOptions struct {
+	// RequireSound rejects views with extraneous pairs (unsound views,
+	// [9]). Cut-based views are always sound.
+	RequireSound bool
+	// MaxGrow bounds cluster growth during soundness repair.
+	MaxGrow int
+	// EdgeWeight biases edge cuts away from high-utility edges.
+	EdgeWeight func(NamedEdge) int64
+}
+
+// Candidate pairs a strategy's result with its score, for reporting.
+type Candidate struct {
+	Result *Result
+	Score  float64
+	Note   string
+}
+
+// Optimize returns the best view hiding all pairs, and the full list of
+// scored candidates (best first) for diagnostics. It fails only if no
+// strategy hides the pairs under the given constraints.
+func Optimize(g *graph.Graph, pairs []Pair, opt OptimizeOptions) (*Result, []Candidate, error) {
+	if opt.MaxGrow == 0 {
+		opt.MaxGrow = 8
+	}
+	var cands []Candidate
+
+	add := func(res *Result, err error, note string) {
+		if err != nil || res == nil {
+			return
+		}
+		if !res.Metrics.HiddenOK {
+			return
+		}
+		if opt.RequireSound && res.Metrics.ExtraneousPairs > 0 {
+			return
+		}
+		cands = append(cands, Candidate{Result: res, Score: res.Metrics.UtilityScore(), Note: note})
+	}
+
+	res, err := HidePairs(g, pairs, CutEdges, opt.EdgeWeight)
+	add(res, err, "min edge cut")
+
+	res, err = HidePairs(g, pairs, CutVertices, nil)
+	add(res, err, "min vertex cut")
+
+	res, err = HidePairs(g, pairs, Cluster, nil)
+	add(res, err, "cluster endpoints")
+
+	grown, err := GrowToSound(g, pairs, memberSet(pairs), opt.MaxGrow)
+	add(grown, err, "cluster grown to sound")
+
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("structpriv: no strategy hides %v under the given constraints", pairs)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		// Prefer sound results on ties.
+		return cands[i].Result.Metrics.ExtraneousPairs < cands[j].Result.Metrics.ExtraneousPairs
+	})
+	return cands[0].Result, cands, nil
+}

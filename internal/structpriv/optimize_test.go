@@ -1,0 +1,174 @@
+package structpriv
+
+import (
+	"math/rand"
+	"testing"
+
+	"provpriv/internal/graph"
+)
+
+func TestOptimizePicksBestStrategy(t *testing.T) {
+	g := w3Graph()
+	best, cands, err := Optimize(g, hidden13to11(), OptimizeOptions{})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("candidates = %d, want several", len(cands))
+	}
+	if !best.Metrics.HiddenOK {
+		t.Fatal("best result does not hide the pair")
+	}
+	// Candidates are sorted best-first.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Fatalf("candidates unsorted: %v then %v", cands[i-1].Score, cands[i].Score)
+		}
+	}
+	if best.Metrics.UtilityScore() != cands[0].Score {
+		t.Fatal("best does not match first candidate")
+	}
+}
+
+func TestOptimizeRequireSound(t *testing.T) {
+	g := w3Graph()
+	best, cands, err := Optimize(g, hidden13to11(), OptimizeOptions{RequireSound: true})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	for _, c := range cands {
+		if c.Result.Metrics.ExtraneousPairs > 0 {
+			t.Fatalf("unsound candidate survived RequireSound: %v", c.Note)
+		}
+	}
+	if best.Metrics.ExtraneousPairs != 0 {
+		t.Fatal("best result unsound")
+	}
+}
+
+func TestOptimizeUnknownPair(t *testing.T) {
+	g := w3Graph()
+	if _, _, err := Optimize(g, []Pair{{From: "MX", To: "M11"}}, OptimizeOptions{}); err == nil {
+		t.Fatal("unknown module accepted")
+	}
+}
+
+// Property: on random DAGs, Optimize always hides the pair, and with
+// RequireSound every returned candidate is sound.
+func TestOptimizeInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.New()
+		n := 25
+		for i := 0; i < n; i++ {
+			g.AddNode(name2(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.12 {
+					g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+				}
+			}
+		}
+		// Find a connected non-adjacent pair.
+		var pair *Pair
+		for u := 0; u < n && pair == nil; u++ {
+			for v := n - 1; v > u+3; v-- {
+				uu, vv := graph.NodeID(u), graph.NodeID(v)
+				if g.Reachable(uu, vv) && !g.HasEdge(uu, vv) {
+					pair = &Pair{From: g.Name(uu), To: g.Name(vv)}
+					break
+				}
+			}
+		}
+		if pair == nil {
+			continue
+		}
+		for _, sound := range []bool{false, true} {
+			best, cands, err := Optimize(g, []Pair{*pair}, OptimizeOptions{RequireSound: sound})
+			if err != nil {
+				if sound {
+					continue // may genuinely be impossible soundly+privately
+				}
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !best.Metrics.HiddenOK {
+				t.Fatalf("trial %d: pair not hidden", trial)
+			}
+			if sound {
+				for _, c := range cands {
+					if c.Result.Metrics.ExtraneousPairs > 0 {
+						t.Fatalf("trial %d: unsound candidate under RequireSound", trial)
+					}
+				}
+			}
+		}
+	}
+}
+
+func name2(i int) string {
+	return "v" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestHideByClusterGroups(t *testing.T) {
+	g := w3Graph()
+	// Two pairs with disjoint endpoints; M13 lies on the M12→M14 path,
+	// so the second group's convexify interacts with the first group's
+	// quotient node. Whatever the grouping, both pairs must end hidden.
+	pairs := []Pair{
+		{From: "M13", To: "M11"},
+		{From: "M12", To: "M14"},
+	}
+	final, groups, err := HideByClusterGroups(g, pairs)
+	if err != nil {
+		t.Fatalf("HideByClusterGroups: %v", err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no groups formed")
+	}
+	if !final.Metrics.HiddenOK {
+		t.Fatal("some pair still inferable")
+	}
+	if !final.Graph.IsAcyclic() {
+		t.Fatal("final quotient cyclic")
+	}
+}
+
+func TestHideByClusterGroupsDisjointPairs(t *testing.T) {
+	// Fully disjoint pairs on a wide graph produce separate clusters.
+	g := graph.New()
+	for _, n := range []string{"a1", "a2", "b1", "b2", "s", "t"} {
+		g.AddNode(n)
+	}
+	e := func(x, y string) { g.AddEdge(g.Lookup(x), g.Lookup(y)) }
+	e("s", "a1")
+	e("a1", "a2")
+	e("s", "b1")
+	e("b1", "b2")
+	e("a2", "t")
+	e("b2", "t")
+	final, groups, err := HideByClusterGroups(g, []Pair{
+		{From: "a1", To: "a2"},
+		{From: "b1", To: "b2"},
+	})
+	if err != nil {
+		t.Fatalf("HideByClusterGroups: %v", err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2", groups)
+	}
+	if !final.Metrics.HiddenOK {
+		t.Fatal("pairs visible")
+	}
+	// s and t stay individually visible.
+	if final.Graph.Lookup("s") == graph.Invalid || final.Graph.Lookup("t") == graph.Invalid {
+		t.Fatal("unrelated nodes absorbed")
+	}
+}
+
+func TestHideByClusterGroupsValidation(t *testing.T) {
+	g := w3Graph()
+	if _, _, err := HideByClusterGroups(g, nil); err == nil {
+		t.Fatal("empty pairs accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Package structpriv implements structural privacy (Section 3 of the
+// CIDR 2011 paper): keeping private the information that some module M
+// contributes to the generation of a data item output by another module
+// M'. Two mechanisms are provided, with the trade-off the paper
+// describes:
+//
+//   - Path cutting deletes edges (or vertices) so that no path from M to
+//     M' remains. It is always sound — it can never fabricate provenance
+//     — but may hide additional true provenance (collateral loss).
+//
+//   - Clustering hides both endpoints inside a composite module P, so
+//     the reachability of pairs within P is no longer externally
+//     visible. It preserves all visible-pair connectivity but may let
+//     users infer extraneous paths that never existed — an unsound view
+//     in the sense of Sun et al. (SIGMOD 2009, cited as [9]).
+//
+// The package detects extraneous pairs, repairs unsound clusterings by
+// splitting or growing clusters, and reports utility metrics (correct
+// connectivity preserved, modules disclosed) so the caller can navigate
+// the privacy/utility trade-off the paper poses as its central
+// optimization problem.
+package structpriv
+
+import (
+	"fmt"
+	"sort"
+
+	"provpriv/internal/graph"
+)
+
+// Pair is an ordered connectivity fact "From contributes to To".
+type Pair struct {
+	From, To string
+}
+
+func (p Pair) String() string { return p.From + "->" + p.To }
+
+// Strategy selects the hiding mechanism.
+type Strategy int
+
+const (
+	// CutEdges removes a minimum-weight set of dataflow edges.
+	CutEdges Strategy = iota
+	// CutVertices removes a minimum set of intermediate modules.
+	CutVertices
+	// Cluster collapses the pair (and optionally more nodes) into one
+	// composite module.
+	Cluster
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case CutEdges:
+		return "cut-edges"
+	case CutVertices:
+		return "cut-vertices"
+	case Cluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// NamedEdge is an edge expressed in module names.
+type NamedEdge struct {
+	From, To string
+}
+
+// Result is a published structural-privacy view: the visible graph plus
+// what was removed or clustered, and the utility metrics.
+type Result struct {
+	Strategy     Strategy
+	Graph        *graph.Graph // the graph an unprivileged user sees
+	RemovedEdges []NamedEdge
+	RemovedNodes []string
+	ClusterName  string   // name of the composite node, for Cluster
+	Cluster      []string // members, for Cluster
+	Metrics      Metrics
+}
+
+// HidePairs hides the given connectivity pairs in g using the strategy.
+// Edge weights (optional) bias the cut away from high-utility edges.
+// The input graph is not modified.
+func HidePairs(g *graph.Graph, pairs []Pair, strat Strategy, edgeWeight func(NamedEdge) int64) (*Result, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("structpriv: no pairs to hide")
+	}
+	for _, p := range pairs {
+		if g.Lookup(p.From) == graph.Invalid || g.Lookup(p.To) == graph.Invalid {
+			return nil, fmt.Errorf("structpriv: pair %s references unknown module", p)
+		}
+	}
+	switch strat {
+	case CutEdges:
+		return hideByEdgeCut(g, pairs, edgeWeight)
+	case CutVertices:
+		return hideByVertexCut(g, pairs)
+	case Cluster:
+		members := memberSet(pairs)
+		return HideByCluster(g, pairs, members)
+	default:
+		return nil, fmt.Errorf("structpriv: unknown strategy %v", strat)
+	}
+}
+
+func memberSet(pairs []Pair) []string {
+	set := make(map[string]bool)
+	for _, p := range pairs {
+		set[p.From] = true
+		set[p.To] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hideByEdgeCut(g *graph.Graph, pairs []Pair, edgeWeight func(NamedEdge) int64) (*Result, error) {
+	work := g.Clone()
+	var removed []NamedEdge
+	var wfn func(graph.Edge) int64
+	if edgeWeight != nil {
+		wfn = func(e graph.Edge) int64 {
+			return edgeWeight(NamedEdge{From: work.Name(e.U), To: work.Name(e.V)})
+		}
+	}
+	for _, p := range pairs {
+		u, v := work.Lookup(p.From), work.Lookup(p.To)
+		cut := graph.MinEdgeCut(work, u, v, wfn)
+		for _, e := range cut {
+			removed = append(removed, NamedEdge{From: work.Name(e.U), To: work.Name(e.V)})
+			work.RemoveEdge(e.U, e.V)
+		}
+	}
+	res := &Result{Strategy: CutEdges, Graph: work, RemovedEdges: removed}
+	res.Metrics = computeMetrics(g, work, identityMap(g), pairs, nil)
+	return res, nil
+}
+
+func hideByVertexCut(g *graph.Graph, pairs []Pair) (*Result, error) {
+	work := g.Clone()
+	dropped := make(map[string]bool)
+	for _, p := range pairs {
+		u, v := work.Lookup(p.From), work.Lookup(p.To)
+		if u == graph.Invalid || v == graph.Invalid || !work.Reachable(u, v) {
+			continue
+		}
+		cut, ok := graph.MinVertexCut(work, u, v, nil)
+		if !ok {
+			// Direct edge: fall back to removing it.
+			work.RemoveEdge(u, v)
+			continue
+		}
+		for _, n := range cut {
+			dropped[work.Name(n)] = true
+		}
+		// Rebuild the working graph without the cut vertices.
+		var keep []graph.NodeID
+		for i := 0; i < work.N(); i++ {
+			if !dropped[work.Name(graph.NodeID(i))] {
+				keep = append(keep, graph.NodeID(i))
+			}
+		}
+		work, _ = work.InducedSubgraph(keep)
+	}
+	res := &Result{Strategy: CutVertices, Graph: work}
+	for n := range dropped {
+		res.RemovedNodes = append(res.RemovedNodes, n)
+	}
+	sort.Strings(res.RemovedNodes)
+	nodeMap := make(map[string]string, g.N())
+	for i := 0; i < g.N(); i++ {
+		name := g.Name(graph.NodeID(i))
+		if dropped[name] {
+			nodeMap[name] = "" // invisible
+		} else {
+			nodeMap[name] = name
+		}
+	}
+	res.Metrics = computeMetrics(g, work, nodeMap, pairs, nil)
+	return res, nil
+}
+
+func identityMap(g *graph.Graph) map[string]string {
+	m := make(map[string]string, g.N())
+	for i := 0; i < g.N(); i++ {
+		m[g.Name(graph.NodeID(i))] = g.Name(graph.NodeID(i))
+	}
+	return m
+}

@@ -1,0 +1,97 @@
+package workflow
+
+import "fmt"
+
+// Builder constructs a Spec incrementally with a fluent API. Errors are
+// accumulated and reported by Build, so call sites stay linear.
+type Builder struct {
+	spec *Spec
+	cur  *Workflow
+	errs []error
+}
+
+// NewBuilder starts a spec with the given id, name and root workflow id.
+func NewBuilder(id, name, rootID string) *Builder {
+	b := &Builder{spec: &Spec{
+		ID:        id,
+		Name:      name,
+		Root:      rootID,
+		Workflows: make(map[string]*Workflow),
+	}}
+	return b
+}
+
+// Workflow starts (or re-opens) a workflow; subsequent module and edge
+// calls apply to it.
+func (b *Builder) Workflow(id, name string) *Builder {
+	if w, ok := b.spec.Workflows[id]; ok {
+		b.cur = w
+		return b
+	}
+	w := &Workflow{ID: id, Name: name}
+	b.spec.Workflows[id] = w
+	b.cur = w
+	return b
+}
+
+func (b *Builder) addModule(m *Module) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("workflow builder: module %s added before any workflow", m.ID))
+		return b
+	}
+	b.cur.Modules = append(b.cur.Modules, m)
+	return b
+}
+
+// Source adds the workflow input node producing the given attributes.
+func (b *Builder) Source(id string, outputs ...string) *Builder {
+	return b.addModule(&Module{ID: id, Name: "Input", Kind: Source, Outputs: outputs})
+}
+
+// Sink adds the workflow output node consuming the given attributes.
+func (b *Builder) Sink(id string, inputs ...string) *Builder {
+	return b.addModule(&Module{ID: id, Name: "Output", Kind: Sink, Inputs: inputs})
+}
+
+// Atomic adds an atomic module.
+func (b *Builder) Atomic(id, name string, inputs, outputs []string, keywords ...string) *Builder {
+	return b.addModule(&Module{ID: id, Name: name, Kind: Atomic,
+		Inputs: inputs, Outputs: outputs, Keywords: keywords})
+}
+
+// Composite adds a composite module expanding to subID.
+func (b *Builder) Composite(id, name, subID string, inputs, outputs []string, keywords ...string) *Builder {
+	return b.addModule(&Module{ID: id, Name: name, Kind: Composite, Sub: subID,
+		Inputs: inputs, Outputs: outputs, Keywords: keywords})
+}
+
+// Edge adds a dataflow edge in the current workflow.
+func (b *Builder) Edge(from, to string, data ...string) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("workflow builder: edge %s->%s added before any workflow", from, to))
+		return b
+	}
+	b.cur.Edges = append(b.cur.Edges, Edge{From: from, To: to, Data: data})
+	return b
+}
+
+// Build validates and returns the spec.
+func (b *Builder) Build() (*Spec, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := b.spec.Validate(); err != nil {
+		return nil, err
+	}
+	return b.spec, nil
+}
+
+// MustBuild is Build that panics on error; for tests and the hard-coded
+// paper figures.
+func (b *Builder) MustBuild() *Spec {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package workflow
+
+// DiseaseSusceptibility constructs the paper's Figure 1 specification:
+// a personalized disease-susceptibility workflow with root W1 and
+// τ-expansions M1→W2, M2→W3, M4→W4 (hence the Fig. 3 expansion
+// hierarchy W1 → {W2, W3}? — no: W2 and W4 are subworkflows of W1 via
+// M1 and (inside W2) M4; W3 is the expansion of M2).
+//
+// Hierarchy (Fig. 3):
+//
+//	W1
+//	├── W2 (via M1)
+//	│   └── W4 (via M4)
+//	└── W3 (via M2)
+//
+// Data attributes follow the figure's labels: the workflow input is
+// {snps, ethnicity, lifestyle, family_history, symptoms}; M1 produces
+// disorders; M2 produces prognosis. The full expansion contains modules
+// I, O, M3, M5–M15 with edges M3→M5 and M8→M9, exactly as stated in
+// Section 2 of the paper.
+func DiseaseSusceptibility() *Spec {
+	b := NewBuilder("disease-susceptibility", "Personalized Disease Susceptibility", "W1")
+
+	b.Workflow("W1", "Disease Susceptibility").
+		Source("I", "snps", "ethnicity", "lifestyle", "family_history", "symptoms").
+		Composite("M1", "Determine Genetic Susceptibility", "W2",
+			[]string{"snps", "ethnicity"}, []string{"disorders"}, "genetic", "susceptibility").
+		Composite("M2", "Evaluate Disorder Risk", "W3",
+			[]string{"disorders", "lifestyle", "family_history", "symptoms"}, []string{"prognosis"}, "disorder", "risk").
+		Sink("O", "prognosis").
+		Edge("I", "M1", "snps", "ethnicity").
+		Edge("I", "M2", "lifestyle", "family_history", "symptoms").
+		Edge("M1", "M2", "disorders").
+		Edge("M2", "O", "prognosis")
+
+	b.Workflow("W2", "Determine Genetic Susceptibility").
+		Atomic("M3", "Expand SNP Set",
+			[]string{"snps", "ethnicity"}, []string{"snp_set"}, "snp").
+		Composite("M4", "Consult External Databases", "W4",
+			[]string{"snp_set"}, []string{"disorders"}, "database", "external").
+		Edge("M3", "M4", "snp_set")
+
+	b.Workflow("W4", "Consult External Databases").
+		Atomic("M5", "Generate Database Queries",
+			[]string{"snp_set"}, []string{"query_omim", "query_pubmed"}, "database", "query").
+		Atomic("M6", "Query OMIM",
+			[]string{"query_omim"}, []string{"disorders_omim"}, "omim", "query", "database").
+		Atomic("M7", "Query PubMed",
+			[]string{"query_pubmed"}, []string{"disorders_pubmed"}, "pubmed", "query", "database").
+		Atomic("M8", "Combine Disorder Sets",
+			[]string{"disorders_omim", "disorders_pubmed"}, []string{"disorders"}, "disorder").
+		Edge("M5", "M6", "query_omim").
+		Edge("M5", "M7", "query_pubmed").
+		Edge("M6", "M8", "disorders_omim").
+		Edge("M7", "M8", "disorders_pubmed")
+
+	// Module insertion order here (M9, M12, M13, M14, M10, M11, M15)
+	// matches the process-id assignment of Fig. 4: the runner breaks
+	// topological-order ties by insertion order.
+	b.Workflow("W3", "Evaluate Disorder Risk").
+		Atomic("M9", "Generate Queries",
+			[]string{"disorders", "lifestyle", "family_history", "symptoms"},
+			[]string{"query_pmc", "query_private"}, "query").
+		Atomic("M12", "Search PubMed Central",
+			[]string{"query_pmc"}, []string{"articles"}, "pubmed", "search").
+		Atomic("M13", "Reformat",
+			[]string{"articles"}, []string{"reformatted"}).
+		Atomic("M14", "Summarize Articles",
+			[]string{"reformatted"}, []string{"summary"}, "summary").
+		Atomic("M10", "Search Private Datasets",
+			[]string{"query_private"}, []string{"notes"}, "private", "search").
+		Atomic("M11", "Update Private Datasets",
+			[]string{"notes", "reformatted"}, []string{"updated_notes"}, "private").
+		Atomic("M15", "Combine",
+			[]string{"updated_notes", "summary"}, []string{"prognosis"}, "notes", "summary").
+		Edge("M9", "M12", "query_pmc").
+		Edge("M9", "M10", "query_private").
+		Edge("M12", "M13", "articles").
+		Edge("M13", "M14", "reformatted").
+		Edge("M13", "M11", "reformatted").
+		Edge("M10", "M11", "notes").
+		Edge("M11", "M15", "updated_notes").
+		Edge("M14", "M15", "summary")
+
+	return b.MustBuild()
+}

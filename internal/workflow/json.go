@@ -1,0 +1,43 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MarshalSpec serializes a spec as indented JSON.
+func MarshalSpec(s *Spec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// UnmarshalSpec parses and validates a spec from JSON.
+func UnmarshalSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workflow: decode spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// WriteSpec writes the JSON encoding of s to w.
+func WriteSpec(w io.Writer, s *Spec) error {
+	data, err := MarshalSpec(s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadSpec reads and validates a spec from r.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: read spec: %w", err)
+	}
+	return UnmarshalSpec(data)
+}

@@ -1,0 +1,77 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes a specification's shape — used by the CLIs and handy
+// when sizing privacy analyses (e.g. whether exhaustive secure-view
+// search is feasible).
+type Stats struct {
+	Workflows  int
+	Modules    int
+	Atomic     int
+	Composite  int
+	Edges      int
+	Attributes int
+	// Depth is the expansion-hierarchy depth (root = 0 ⇒ flat spec).
+	Depth int
+	// FullModules is the module count of the full expansion.
+	FullModules int
+	// LongestPath is the edge count of the longest dataflow path in the
+	// full expansion.
+	LongestPath int
+}
+
+// ComputeStats derives Stats for a validated spec.
+func ComputeStats(s *Spec) (Stats, error) {
+	var st Stats
+	attrs := make(map[string]bool)
+	for _, wid := range s.WorkflowIDs() {
+		w := s.Workflows[wid]
+		st.Workflows++
+		st.Edges += len(w.Edges)
+		for _, m := range w.Modules {
+			st.Modules++
+			switch m.Kind {
+			case Atomic:
+				st.Atomic++
+			case Composite:
+				st.Composite++
+			}
+			for _, a := range m.Inputs {
+				attrs[a] = true
+			}
+			for _, a := range m.Outputs {
+				attrs[a] = true
+			}
+		}
+	}
+	st.Attributes = len(attrs)
+	h, err := NewHierarchy(s)
+	if err != nil {
+		return st, err
+	}
+	for _, wid := range h.All() {
+		if d := h.Depth(wid); d > st.Depth {
+			st.Depth = d
+		}
+	}
+	v, err := Expand(s, FullPrefix(h))
+	if err != nil {
+		return st, err
+	}
+	st.FullModules = len(v.Modules)
+	st.LongestPath = v.Graph().LongestPathLen()
+	return st, nil
+}
+
+// String renders the stats on one line.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflows=%d modules=%d (atomic=%d composite=%d) edges=%d attrs=%d depth=%d full=%d longest-path=%d",
+		st.Workflows, st.Modules, st.Atomic, st.Composite, st.Edges,
+		st.Attributes, st.Depth, st.FullModules, st.LongestPath)
+	return b.String()
+}

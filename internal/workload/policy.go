@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"math/rand"
+
+	"provpriv/internal/privacy"
+	"provpriv/internal/workflow"
+)
+
+// RandomPolicy generates a plausible privacy policy for a spec: a
+// fraction of atomic modules become module-private, a fraction of data
+// attributes become level-protected, and non-root workflows are granted
+// to levels so that coarser views go to lower levels (deeper workflows
+// require higher levels, mimicking real hierarchical clearance).
+func RandomPolicy(s *workflow.Spec, seed int64) (*privacy.Policy, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pol := privacy.NewPolicy(s.ID)
+	h, err := workflow.NewHierarchy(s)
+	if err != nil {
+		return nil, err
+	}
+	levels := []privacy.Level{privacy.Registered, privacy.Analyst, privacy.Owner}
+
+	for _, wid := range s.WorkflowIDs() {
+		for _, m := range s.Workflows[wid].Modules {
+			switch m.Kind {
+			case workflow.Atomic:
+				if rng.Float64() < 0.15 {
+					pol.ModuleLevels[m.ID] = levels[rng.Intn(len(levels))]
+				}
+			default:
+			}
+			for _, a := range m.Outputs {
+				if rng.Float64() < 0.15 {
+					if _, dup := pol.DataLevels[a]; !dup {
+						pol.DataLevels[a] = levels[rng.Intn(len(levels))]
+					}
+				}
+			}
+		}
+	}
+	// Grant each non-root workflow at a level no lower than its depth
+	// (deeper detail needs more privilege).
+	for _, wid := range h.All() {
+		if wid == h.Root {
+			continue
+		}
+		min := h.Depth(wid)
+		if min > len(levels) {
+			min = len(levels)
+		}
+		lvl := levels[min-1+rng.Intn(len(levels)-min+1)]
+		pol.ViewGrants[lvl] = append(pol.ViewGrants[lvl], wid)
+	}
+	if err := pol.Validate(s); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
