@@ -1,0 +1,153 @@
+// Command provserve serves a provenance repository over HTTP: the
+// multi-tenant front door to the sharded query engine. It loads a
+// repository directory produced by provgen (or the built-in paper
+// example), registers one user per access level, and exposes the JSON
+// API of internal/server.
+//
+// Serve the built-in example:
+//
+//	provserve -example -addr :8080
+//
+// Serve a generated corpus with extra registered users:
+//
+//	provserve -data ./provdata -addr :8080 -user analyst1=2 -user owner1=3
+//
+// Query it (the X-Prov-User header names the principal; ?user= works
+// for curl convenience):
+//
+//	curl -H 'X-Prov-User: owner' 'localhost:8080/api/v1/search?q=database'
+//	curl 'localhost:8080/api/v1/provenance?user=public&spec=disease-susceptibility&exec=E1&item=d18'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/repo"
+	"provpriv/internal/server"
+	"provpriv/internal/workflow"
+)
+
+// userFlags collects repeated -user NAME=LEVEL flags.
+type userFlags []privacy.User
+
+func (u *userFlags) String() string { return fmt.Sprint(*u) }
+
+func (u *userFlags) Set(v string) error {
+	name, lvl, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=LEVEL, got %q", v)
+	}
+	n, err := strconv.Atoi(lvl)
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad level in %q", v)
+	}
+	*u = append(*u, privacy.User{Name: name, Level: privacy.Level(n), Group: "level" + lvl})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("provserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "repository directory from provgen or repo.Save")
+	example := flag.Bool("example", false, "serve the built-in paper example instead of -data")
+	workers := flag.Int("workers", 0, "fan-out pool size (0 = GOMAXPROCS)")
+	var users userFlags
+	flag.Var(&users, "user", "register a user as NAME=LEVEL (repeatable)")
+	flag.Parse()
+
+	var r *repo.Repository
+	switch {
+	case *example:
+		r = repo.New()
+		loadExample(r)
+	case *data != "":
+		var err error
+		if r, err = repo.Load(*data); err != nil {
+			log.Fatalf("load %s: %v", *data, err)
+		}
+	default:
+		log.Fatal("need -data DIR or -example")
+	}
+	if *workers > 0 {
+		r.SetWorkers(*workers)
+	}
+	// Default principals: one per common level, so the API is usable
+	// out of the box. Explicit -user flags add or override.
+	for _, u := range []privacy.User{
+		{Name: "public", Level: privacy.Public, Group: "public"},
+		{Name: "registered", Level: privacy.Registered, Group: "registered"},
+		{Name: "analyst", Level: privacy.Analyst, Group: "analysts"},
+		{Name: "owner", Level: privacy.Owner, Group: "owners"},
+	} {
+		r.AddUser(u)
+	}
+	for _, u := range users {
+		r.AddUser(u)
+	}
+
+	srv := server.New(r)
+	srv.Logger = log.Default()
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	log.Printf("serving on %s", *addr)
+	fmt.Print(r.Describe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Print("bye")
+	}
+}
+
+// loadExample seeds the paper's disease-susceptibility workflow with
+// the canonical policy (snps owner-only, disorders analyst-only,
+// per-level view grants) and one execution — the same fixture the CLI
+// tools and tests use.
+func loadExample(r *repo.Repository) {
+	spec := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(spec.ID)
+	pol.DataLevels["snps"] = privacy.Owner
+	pol.DataLevels["disorders"] = privacy.Analyst
+	pol.ViewGrants[privacy.Registered] = []string{"W2"}
+	pol.ViewGrants[privacy.Analyst] = []string{"W3", "W4"}
+	if err := r.AddSpec(spec, pol); err != nil {
+		log.Fatalf("example spec: %v", err)
+	}
+	e, err := exec.NewRunner(spec, nil).Run("E1", map[string]exec.Value{
+		"snps": "rs123", "ethnicity": "eth1", "lifestyle": "active",
+		"family_history": "fh1", "symptoms": "none",
+	})
+	if err != nil {
+		log.Fatalf("example execution: %v", err)
+	}
+	if err := r.AddExecution(e); err != nil {
+		log.Fatalf("example execution: %v", err)
+	}
+}

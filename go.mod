@@ -1,0 +1,3 @@
+module provpriv
+
+go 1.24

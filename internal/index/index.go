@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"provpriv/internal/graph"
 	"provpriv/internal/privacy"
@@ -269,6 +270,12 @@ func (r *ReachIndex) AddSpec(s *workflow.Spec) error {
 	return nil
 }
 
+// RemoveSpec drops a spec's reachability graph and closure.
+func (r *ReachIndex) RemoveSpec(specID string) {
+	delete(r.graphs, specID)
+	delete(r.closures, specID)
+}
+
 // Reaches reports whether fromModule contributes (transitively) to
 // toModule in the spec's full expansion. Unknown ids report false.
 func (r *ReachIndex) Reaches(specID, fromModule, toModule string) bool {
@@ -285,14 +292,16 @@ func (r *ReachIndex) Reaches(specID, fromModule, toModule string) bool {
 
 // Cache is a bounded, concurrency-safe result cache keyed by
 // (user group, query key): users in the same group share privacy
-// settings, so they can safely share materialized answers.
+// settings, so they can safely share materialized answers. Lookups take
+// only a read lock and count hits/misses atomically, so a fleet of
+// concurrent readers does not serialize on the cache.
 type Cache struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	capacity int
 	entries  map[string]*cacheEntry
 	order    []string // FIFO-ish eviction order (append on insert)
-	hits     int
-	misses   int
+	hits     atomic.Int64
+	misses   atomic.Int64
 }
 
 type cacheEntry struct {
@@ -311,14 +320,14 @@ func cacheKey(group, key string) string { return group + "\x00" + key }
 
 // Get returns the cached value for (group, key).
 func (c *Cache) Get(group, key string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	e, ok := c.entries[cacheKey(group, key)]
+	c.mu.RUnlock()
 	if ok {
-		c.hits++
+		c.hits.Add(1)
 		return e.value, true
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil, false
 }
 
@@ -341,7 +350,5 @@ func (c *Cache) Put(group, key string, v any) {
 
 // Stats returns (hits, misses).
 func (c *Cache) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return int(c.hits.Load()), int(c.misses.Load())
 }

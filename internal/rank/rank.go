@@ -23,6 +23,11 @@ import (
 
 // Corpus holds term statistics over a set of documents (workflow specs,
 // with module keywords as terms).
+//
+// Concurrency contract: Corpus is not internally synchronized. The
+// repository builds each per-level corpus once (behind a singleflight)
+// and treats it as immutable afterwards; concurrent Rank/Score/TF/IDF
+// calls on a corpus that is no longer Added to are safe.
 type Corpus struct {
 	docs map[string]map[string]int // doc -> term -> count
 	df   map[string]int            // term -> #docs containing it

@@ -1,0 +1,313 @@
+package repo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/workload"
+)
+
+// These tests exercise the sharded engine adversarially and are meant
+// to run under `go test -race`: searches, ingest, materialization
+// toggles and spec removal all race against each other, and the
+// assertions check that every observed answer is internally consistent
+// (no partial state, no privacy downgrade) rather than that a specific
+// interleaving happened.
+
+func multiSpecRepo(t testing.TB, n int) *Repository {
+	t.Helper()
+	r := New()
+	for i := 0; i < n; i++ {
+		s, err := workload.RandomSpec(workload.SpecConfig{
+			Seed: int64(i), ID: fmt.Sprintf("s%d", i), Depth: 3, Fanout: 2, Chain: 4, SkipProb: 0.2,
+		})
+		if err != nil {
+			t.Fatalf("RandomSpec: %v", err)
+		}
+		pol := privacy.NewPolicy(s.ID)
+		k := 0
+		for _, wid := range s.WorkflowIDs() {
+			for _, m := range s.Workflows[wid].Modules {
+				if k%3 == 0 {
+					pol.ModuleLevels[m.ID] = privacy.Analyst
+				}
+				k++
+			}
+		}
+		if err := r.AddSpec(s, pol); err != nil {
+			t.Fatalf("AddSpec: %v", err)
+		}
+		e, err := exec.NewRunner(s, nil).Run(s.ID+"-E0", workload.RandomInputs(s, int64(i)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			t.Fatalf("AddExecution: %v", err)
+		}
+	}
+	r.AddUser(privacy.User{Name: "pub", Level: privacy.Public, Group: "g-pub"})
+	r.AddUser(privacy.User{Name: "reg", Level: privacy.Registered, Group: "g-reg"})
+	r.AddUser(privacy.User{Name: "ana", Level: privacy.Analyst, Group: "g-ana"})
+	return r
+}
+
+// TestParallelSearchIngestMaterialize races the three mutating surfaces
+// of the ISSUE against a steady read load: Search, AddExecution and
+// EnableMaterialization from separate goroutine pools.
+func TestParallelSearchIngestMaterialize(t *testing.T) {
+	r := multiSpecRepo(t, 6)
+	queries := workload.RandomQueries(rand.New(rand.NewSource(1)), nil, 16)
+	var wg sync.WaitGroup
+	var searchErrs atomic.Int64
+
+	// Readers: keyword search at every level, cached and uncached.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			users := []string{"pub", "reg", "ana"}
+			for i := 0; i < 40; i++ {
+				q := queries[(g*40+i)%len(queries)]
+				if _, err := r.Search(users[i%3], q, SearchOptions{BypassCache: i%2 == 0}); err != nil {
+					searchErrs.Add(1)
+				}
+			}
+		}(g)
+	}
+	// Writers: new executions on every spec.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				sid := fmt.Sprintf("s%d", (g*10+i)%6)
+				s := r.Spec(sid)
+				e, err := exec.NewRunner(s, nil).Run(fmt.Sprintf("%s-g%d-E%d", sid, g, i), workload.RandomInputs(s, int64(i)))
+				if err != nil {
+					t.Errorf("Run: %v", err)
+					return
+				}
+				if err := r.AddExecution(e); err != nil {
+					t.Errorf("AddExecution: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Materialization toggles concurrent with everything else.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := r.EnableMaterialization([]privacy.Level{privacy.Public, privacy.Registered}); err != nil {
+				t.Errorf("EnableMaterialization: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if n := searchErrs.Load(); n != 0 {
+		t.Fatalf("%d searches failed", n)
+	}
+	// All ingested executions are visible afterwards.
+	st := r.Stats()
+	if st.Specs != 6 || st.Executions != 6+20 {
+		t.Fatalf("stats after race = %+v", st)
+	}
+}
+
+// TestParallelQueryAndProvenance hammers the per-execution read paths
+// (Query, QueryAll, Provenance, Reaches) from many goroutines while an
+// ingest stream grows one shard, checking the singleflight view cache
+// never serves a wrong-level view: a public user must never see an
+// unredacted protected value.
+func TestParallelQueryAndProvenance(t *testing.T) {
+	r := seededRepo(t) // disease-susceptibility with snps protected at Owner
+	e := r.execution("disease-susceptibility", "E1")
+	var progID string
+	for id, it := range e.Items {
+		if it.Attr == "prognosis" {
+			progID = id
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				prov, err := r.Provenance("bob", "disease-susceptibility", "E1", progID)
+				if err != nil {
+					t.Errorf("Provenance: %v", err)
+					return
+				}
+				for _, it := range prov.Items {
+					if it.Attr == "snps" && !it.Redacted {
+						t.Error("public provenance leaked protected snps value")
+						return
+					}
+				}
+				if _, err := r.Query("alice", "disease-susceptibility", "E1", `MATCH a = "reformat"`); err != nil {
+					t.Errorf("Query: %v", err)
+					return
+				}
+				if _, err := r.QueryAll("carol", "disease-susceptibility", `MATCH a = "reformat"`); err != nil {
+					t.Errorf("QueryAll: %v", err)
+					return
+				}
+				if got, err := r.Reaches("alice", "disease-susceptibility", "M12", "M11"); err != nil || !got {
+					t.Errorf("Reaches = %v, %v", got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestParallelAddRemoveSpec races spec registration/removal against
+// search: the index and shard directory must stay consistent (a hit
+// must always resolve to a live spec).
+func TestParallelAddRemoveSpec(t *testing.T) {
+	r := multiSpecRepo(t, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			sid := fmt.Sprintf("churn%d", i)
+			s, err := workload.RandomSpec(workload.SpecConfig{
+				Seed: int64(100 + i), ID: sid, Depth: 2, Fanout: 1, Chain: 3,
+			})
+			if err != nil {
+				t.Errorf("RandomSpec: %v", err)
+				return
+			}
+			if err := r.AddSpec(s, nil); err != nil {
+				t.Errorf("AddSpec: %v", err)
+				return
+			}
+			if err := r.RemoveSpec(sid); err != nil {
+				t.Errorf("RemoveSpec: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				hits, err := r.Search("ana", "query, filter", SearchOptions{BypassCache: true})
+				if err != nil {
+					continue // all-phrase miss is legal mid-churn
+				}
+				for _, h := range hits {
+					if r.Spec(h.SpecID) == nil && h.SpecID[:1] != "c" {
+						t.Errorf("hit on dead spec %s", h.SpecID)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCorpusSingleflight verifies concurrent cold searches at one level
+// build the per-level corpus once, not once per caller.
+func TestCorpusSingleflight(t *testing.T) {
+	r := multiSpecRepo(t, 8)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, _ := r.flights.Do("corpus|probe", func() (any, error) {
+				builds.Add(1)
+				// Hold the flight open long enough for the herd to pile
+				// up behind it, as a slow real corpus build would.
+				time.Sleep(20 * time.Millisecond)
+				return r.buildCorpus(privacy.Registered), nil
+			})
+			if v == nil {
+				t.Error("nil corpus from flight group")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if b := builds.Load(); b < 1 || b > 4 {
+		// With 16 simultaneous callers the flight group should collapse
+		// almost all of them; allow a little scheduling slack.
+		t.Fatalf("corpus built %d times for 16 concurrent callers", b)
+	}
+	// And the real path: concurrent cold searches agree with each other.
+	r.invalidateDerived()
+	results := make([][]SearchHit, 8)
+	var wg2 sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg2.Add(1)
+		go func(g int) {
+			defer wg2.Done()
+			hits, err := r.Search("reg", "database", SearchOptions{BypassCache: true})
+			if err != nil {
+				t.Errorf("Search: %v", err)
+				return
+			}
+			results[g] = hits
+		}(g)
+	}
+	wg2.Wait()
+	for g := 1; g < 8; g++ {
+		if len(results[g]) != len(results[0]) {
+			t.Fatalf("concurrent searches disagree: %d vs %d hits", len(results[g]), len(results[0]))
+		}
+		for i := range results[g] {
+			if results[g][i].SpecID != results[0][i].SpecID || results[g][i].Score != results[0][i].Score {
+				t.Fatalf("concurrent searches disagree at %d: %+v vs %+v", i, results[g][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestFanOutDeterministicMerge checks the pooled Search merge is stable
+// across worker counts: 1 worker (serial) and many workers must produce
+// identical hit lists.
+func TestFanOutDeterministicMerge(t *testing.T) {
+	r := multiSpecRepo(t, 8)
+	serial := func() []SearchHit {
+		r.SetWorkers(1)
+		hits, err := r.Search("ana", "query", SearchOptions{BypassCache: true})
+		if err != nil {
+			t.Fatalf("Search serial: %v", err)
+		}
+		return hits
+	}()
+	for _, workers := range []int{2, 8, 32} {
+		r.SetWorkers(workers)
+		hits, err := r.Search("ana", "query", SearchOptions{BypassCache: true})
+		if err != nil {
+			t.Fatalf("Search workers=%d: %v", workers, err)
+		}
+		if len(hits) != len(serial) {
+			t.Fatalf("workers=%d: %d hits vs serial %d", workers, len(hits), len(serial))
+		}
+		for i := range hits {
+			if hits[i].SpecID != serial[i].SpecID || hits[i].Score != serial[i].Score {
+				t.Fatalf("workers=%d: hit %d = (%s,%g), serial (%s,%g)", workers, i,
+					hits[i].SpecID, hits[i].Score, serial[i].SpecID, serial[i].Score)
+			}
+		}
+	}
+}

@@ -16,11 +16,7 @@ func TestMaterializedProvenanceMatchesOnTheFly(t *testing.T) {
 	if err := mat.EnableMaterialization([]privacy.Level{privacy.Public, privacy.Analyst}); err != nil {
 		t.Fatalf("EnableMaterialization: %v", err)
 	}
-	e := func(r *Repository) *exec.Execution {
-		r.mu.RLock()
-		defer r.mu.RUnlock()
-		return r.execs["disease-susceptibility"]["E1"]
-	}(plain)
+	e := plain.execution("disease-susceptibility", "E1")
 	var progID string
 	for id, it := range e.Items {
 		if it.Attr == "prognosis" {
@@ -85,11 +81,7 @@ func TestMaterializationHidesInternalItems(t *testing.T) {
 	if err := r.EnableMaterialization([]privacy.Level{privacy.Public}); err != nil {
 		t.Fatalf("EnableMaterialization: %v", err)
 	}
-	e := func() *exec.Execution {
-		r.mu.RLock()
-		defer r.mu.RUnlock()
-		return r.execs["disease-susceptibility"]["E1"]
-	}()
+	e := r.execution("disease-susceptibility", "E1")
 	var internalID string
 	for id, it := range e.Items {
 		if it.Attr == "snp_set" {

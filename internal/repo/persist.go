@@ -24,55 +24,52 @@ type manifest struct {
 }
 
 // Save writes the repository's contents to dir (created if missing).
-// Indexes and caches are not persisted; Load rebuilds them.
+// Indexes and caches are not persisted; Load rebuilds them. Each shard
+// is locked only while its own files are written, so a long save does
+// not freeze the whole repository.
 func (r *Repository) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("repo: save: %w", err)
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var man manifest
-	for i, sid := range r.specIDsLocked() {
+	for i, sid := range r.SpecIDs() {
+		sh := r.shard(sid)
+		if sh == nil {
+			continue // removed while saving
+		}
+		sh.mu.RLock()
+		spec, pol := sh.spec, sh.policy
+		execIDs := make([]string, 0, len(sh.execs))
+		for id := range sh.execs {
+			execIDs = append(execIDs, id)
+		}
+		sortStrings(execIDs)
+		execs := make([]*exec.Execution, len(execIDs))
+		for j, id := range execIDs {
+			execs[j] = sh.execs[id]
+		}
+		sh.mu.RUnlock()
+
 		specPath := fmt.Sprintf("spec-%d.json", i)
-		if err := writeJSON(filepath.Join(dir, specPath), r.specs[sid]); err != nil {
+		if err := writeJSON(filepath.Join(dir, specPath), spec); err != nil {
 			return err
 		}
 		man.Specs = append(man.Specs, specPath)
 		polPath := fmt.Sprintf("policy-%d.json", i)
-		if err := writeJSON(filepath.Join(dir, polPath), r.policies[sid]); err != nil {
+		if err := writeJSON(filepath.Join(dir, polPath), pol); err != nil {
 			return err
 		}
 		man.Policies = append(man.Policies, polPath)
-		for j, eid := range r.executionIDsLocked(sid) {
+		for j, e := range execs {
 			execPath := fmt.Sprintf("exec-%d-%d.json", i, j)
-			if err := writeJSON(filepath.Join(dir, execPath), r.execs[sid][eid]); err != nil {
+			if err := writeJSON(filepath.Join(dir, execPath), e); err != nil {
 				return err
 			}
 			man.Executions = append(man.Executions, execPath)
 		}
 	}
-	for _, name := range sortedUserNamesLocked(r) {
-		man.Users = append(man.Users, *r.users[name])
-	}
+	man.Users = append(man.Users, r.Users()...)
 	return writeJSON(filepath.Join(dir, "manifest.json"), man)
-}
-
-func (r *Repository) executionIDsLocked(specID string) []string {
-	ids := make([]string, 0, len(r.execs[specID]))
-	for id := range r.execs[specID] {
-		ids = append(ids, id)
-	}
-	sortStrings(ids)
-	return ids
-}
-
-func sortedUserNamesLocked(r *Repository) []string {
-	names := make([]string, 0, len(r.users))
-	for n := range r.users {
-		names = append(names, n)
-	}
-	sortStrings(names)
-	return names
 }
 
 func sortStrings(s []string) {

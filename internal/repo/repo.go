@@ -12,13 +12,32 @@
 // (search), TF-IDF ranking with optional score bucketing (rank),
 // structural queries with privacy-controlled semantics (query), and
 // masked provenance retrieval (datapriv + exec views).
+//
+// Concurrency model: state is sharded per specification. Each shard
+// owns its spec, policy, executions, generalization hierarchies and
+// materialized views behind its own RWMutex, so traffic against
+// different specs never contends. The repository level keeps only the
+// shard directory, the user registry, the shared keyword/reachability
+// indexes and the per-level ranking corpora, each behind its own lock.
+// Multi-spec operations (Search, QueryAll, EnableMaterialization) fan
+// out across a bounded worker pool and merge deterministically; lazily
+// built per-level artifacts (ranking corpora, collapsed provenance
+// views) are deduplicated with a singleflight group so concurrent
+// identical requests build each view exactly once.
+//
+// Lock ordering: mu (shard directory) before indexMu before a shard's
+// mu. Read paths never hold two locks at once — they resolve the shard
+// pointer, release the directory lock, then lock the shard.
 package repo
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
@@ -30,51 +49,197 @@ import (
 	"provpriv/internal/workflow"
 )
 
-// Repository is a concurrency-safe store of specs, executions, policies
-// and users, with privacy-aware search and query entry points.
-type Repository struct {
-	mu       sync.RWMutex
-	specs    map[string]*workflow.Spec
-	hier     map[string]*workflow.Hierarchy
-	execs    map[string]map[string]*exec.Execution
-	policies map[string]*privacy.Policy
-	users    map[string]*privacy.User
+// Sentinel errors, exposed so transport layers (internal/server) can map
+// failures to protocol status codes with errors.Is instead of string
+// matching.
+var (
+	// ErrNotFound marks lookups of unknown specs, executions or items.
+	ErrNotFound = errors.New("not found")
+	// ErrDenied marks requests refused by privacy policy: the entity
+	// exists but is not visible at the caller's access level.
+	ErrDenied = errors.New("access denied")
+	// ErrUnknownUser marks requests by unregistered principals.
+	ErrUnknownUser = errors.New("unknown user")
+)
 
-	inverted *index.Inverted
-	reach    *index.ReachIndex
-	cache    *index.Cache
+// shard is the unit of isolation: everything the repository knows about
+// one specification, behind one lock. Spec, hierarchy and policy are
+// immutable once published; executions are append-only.
+type shard struct {
+	mu     sync.RWMutex
+	spec   *workflow.Spec
+	hier   *workflow.Hierarchy
+	policy *privacy.Policy
+	execs  map[string]*exec.Execution
 
 	// viewStore, when non-nil, holds pre-collapsed, pre-masked views of
 	// executions at the materialized levels (Section 4's materialized-
 	// views direction); Provenance consults it before collapsing on the
 	// fly.
 	viewStore *index.ViewStore
-	matLevels []privacy.Level
 
-	// hierarchies holds optional per-spec generalization ladders used by
+	// hierarchies holds optional generalization ladders used by
 	// data-privacy masking (values are coarsened instead of redacted).
-	hierarchies map[string]map[string]*datapriv.Hierarchy
+	hierarchies map[string]*datapriv.Hierarchy
 
-	corpusMu sync.Mutex
-	corpora  map[privacy.Level]*rank.Corpus
+	// viewCache holds lazily collapsed (pre-mask) execution views keyed
+	// by (execID, level), deduplicated through the repository's flight
+	// group. Masking still runs per request (it is cheap and returns a
+	// copy); the expensive Collapse runs once per view.
+	viewMu    sync.RWMutex
+	viewCache map[viewCacheKey]*exec.Execution
 }
 
-// New returns an empty repository.
+type viewCacheKey struct {
+	execID string
+	level  privacy.Level
+}
+
+// viewCacheCap bounds the number of collapsed views retained per shard;
+// on overflow the whole per-shard cache is dropped (views are cheap to
+// rebuild and the cap is generous: levels × executions).
+const viewCacheCap = 1024
+
+// Repository is a concurrency-safe, per-spec-sharded store of specs,
+// executions, policies and users, with privacy-aware search and query
+// entry points.
+type Repository struct {
+	mu        sync.RWMutex
+	shards    map[string]*shard
+	matLevels []privacy.Level // non-nil once materialization is enabled
+
+	usersMu sync.RWMutex
+	users   map[string]*privacy.User
+
+	// inverted and reach are shared across shards (one physical index
+	// serving every privilege level is the paper's point); they are not
+	// internally synchronized, so indexMu guards them.
+	indexMu  sync.RWMutex
+	inverted *index.Inverted
+	reach    *index.ReachIndex
+
+	cache atomic.Pointer[index.Cache]
+
+	// corpora caches the per-level visible TF-IDF corpus; corpusGen
+	// fences singleflight fills against concurrent invalidation.
+	corpusMu  sync.RWMutex
+	corpora   map[privacy.Level]*rank.Corpus
+	corpusGen uint64
+
+	flights flightGroup
+
+	// workers bounds the fan-out pool shared by all multi-spec
+	// operations on this repository.
+	workers int
+	sem     chan struct{}
+}
+
+// New returns an empty repository with a fan-out pool sized to the
+// machine.
 func New() *Repository {
 	cache, _ := index.NewCache(256)
-	return &Repository{
-		specs:    make(map[string]*workflow.Spec),
-		hier:     make(map[string]*workflow.Hierarchy),
-		execs:    make(map[string]map[string]*exec.Execution),
-		policies: make(map[string]*privacy.Policy),
+	r := &Repository{
+		shards:   make(map[string]*shard),
 		users:    make(map[string]*privacy.User),
-		cache:    cache,
+		inverted: index.BuildInverted(nil, nil),
 		corpora:  make(map[privacy.Level]*rank.Corpus),
 	}
+	reach, _ := index.BuildReach(nil)
+	r.reach = reach
+	r.cache.Store(cache)
+	r.setWorkers(runtime.GOMAXPROCS(0))
+	return r
+}
+
+// SetWorkers resizes the bounded fan-out pool (minimum 1; 1 disables
+// engine-internal parallelism, the serial baseline of
+// BenchmarkSearchParallel).
+func (r *Repository) SetWorkers(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.setWorkers(n)
+}
+
+func (r *Repository) setWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.workers = n
+	r.sem = make(chan struct{}, n)
+}
+
+// fanOut runs fn(0..n-1), spreading calls over the repository's bounded
+// worker pool. When the pool is saturated the caller runs the task
+// inline, so fanOut never deadlocks under nesting and never queues
+// unboundedly. Results must be written to index-addressed slots by fn;
+// completion order is unspecified, slot order is deterministic.
+func (r *Repository) fanOut(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	r.mu.RLock()
+	sem := r.sem
+	workers := r.workers
+	r.mu.RUnlock()
+	if n == 1 || workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// shard returns the shard for a spec id, or nil.
+func (r *Repository) shard(specID string) *shard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shards[specID]
+}
+
+// shardOrErr resolves a shard or reports ErrNotFound.
+func (r *Repository) shardOrErr(specID string) (*shard, error) {
+	sh := r.shard(specID)
+	if sh == nil {
+		return nil, fmt.Errorf("repo: unknown spec %q: %w", specID, ErrNotFound)
+	}
+	return sh, nil
+}
+
+// snapshotShards returns the shards in sorted spec-id order.
+func (r *Repository) snapshotShards() []*shard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.shards))
+	for id := range r.shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*shard, len(ids))
+	for i, id := range ids {
+		out[i] = r.shards[id]
+	}
+	return out
 }
 
 // AddSpec registers a validated spec with its policy (nil for an
-// all-public policy). Indexes are updated incrementally.
+// all-public policy). Indexes are updated incrementally; the shard is
+// published only after its index entries exist, so readers never see a
+// searchable spec they cannot resolve.
 func (r *Repository) AddSpec(s *workflow.Spec, pol *privacy.Policy) error {
 	if err := s.Validate(); err != nil {
 		return err
@@ -89,93 +254,114 @@ func (r *Repository) AddSpec(s *workflow.Spec, pol *privacy.Policy) error {
 	if err := pol.Validate(s); err != nil {
 		return err
 	}
+	sh := &shard{
+		spec:      s,
+		hier:      h,
+		policy:    pol,
+		execs:     make(map[string]*exec.Execution),
+		viewCache: make(map[viewCacheKey]*exec.Execution),
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.specs[s.ID]; dup {
+	if _, dup := r.shards[s.ID]; dup {
 		return fmt.Errorf("repo: spec %s already registered", s.ID)
 	}
-	r.specs[s.ID] = s
-	r.hier[s.ID] = h
-	r.policies[s.ID] = pol
-	if r.viewStore != nil {
-		if err := r.viewStore.RegisterSpec(s, pol, r.matLevels); err != nil {
+	if r.matLevels != nil {
+		vs := index.NewViewStore()
+		if err := vs.RegisterSpec(s, pol, r.matLevels); err != nil {
 			return err
 		}
+		sh.viewStore = vs
 	}
 	// Incremental index maintenance: add this spec's postings and
-	// closure, invalidate corpora and the result cache.
-	if r.inverted == nil {
-		r.inverted = index.BuildInverted(nil, nil)
-	}
+	// closure, then publish the shard and invalidate derived state
+	// (corpora, result cache).
+	r.indexMu.Lock()
 	r.inverted.AddSpec(s, pol)
-	if r.reach == nil {
-		reach, err := index.BuildReach(nil)
-		if err != nil {
-			return err
-		}
-		r.reach = reach
-	}
 	if err := r.reach.AddSpec(s); err != nil {
 		r.inverted.RemoveSpec(s.ID)
+		r.indexMu.Unlock()
 		return err
 	}
-	r.corpusMu.Lock()
-	r.corpora = make(map[privacy.Level]*rank.Corpus)
-	r.corpusMu.Unlock()
-	r.cache, _ = index.NewCache(256)
+	r.indexMu.Unlock()
+	r.shards[s.ID] = sh
+	r.invalidateDerived()
 	return nil
 }
 
-func (r *Repository) specIDsLocked() []string {
-	ids := make([]string, 0, len(r.specs))
-	for id := range r.specs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
+// invalidateDerived resets the lazily built per-level corpora and the
+// result cache after a corpus-visible mutation.
+func (r *Repository) invalidateDerived() {
+	r.corpusMu.Lock()
+	r.corpora = make(map[privacy.Level]*rank.Corpus)
+	r.corpusGen++
+	r.corpusMu.Unlock()
+	cache, _ := index.NewCache(256)
+	r.cache.Store(cache)
 }
 
 // SpecIDs returns the registered spec ids, sorted.
 func (r *Repository) SpecIDs() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.specIDsLocked()
+	ids := make([]string, 0, len(r.shards))
+	for id := range r.shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // Spec returns a registered spec, or nil.
 func (r *Repository) Spec(id string) *workflow.Spec {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.specs[id]
+	sh := r.shard(id)
+	if sh == nil {
+		return nil
+	}
+	return sh.spec
 }
 
 // Policy returns the policy of a spec, or nil.
 func (r *Repository) Policy(specID string) *privacy.Policy {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.policies[specID]
+	sh := r.shard(specID)
+	if sh == nil {
+		return nil
+	}
+	return sh.policy
 }
 
-// AddExecution stores a validated execution of a registered spec.
+// execution returns one stored execution (nil when absent); used by
+// white-box tests.
+func (r *Repository) execution(specID, execID string) *exec.Execution {
+	sh := r.shard(specID)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.execs[execID]
+}
+
+// AddExecution stores a validated execution of a registered spec. Only
+// that spec's shard is locked: ingest on one spec never stalls queries
+// on others.
 func (r *Repository) AddExecution(e *exec.Execution) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.specs[e.SpecID] == nil {
-		return fmt.Errorf("repo: execution %s references unknown spec %s", e.ID, e.SpecID)
+	sh := r.shard(e.SpecID)
+	if sh == nil {
+		return fmt.Errorf("repo: execution %s references unknown spec %s: %w", e.ID, e.SpecID, ErrNotFound)
 	}
-	if r.execs[e.SpecID] == nil {
-		r.execs[e.SpecID] = make(map[string]*exec.Execution)
-	}
-	if _, dup := r.execs[e.SpecID][e.ID]; dup {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.execs[e.ID]; dup {
 		return fmt.Errorf("repo: execution %s already registered", e.ID)
 	}
-	r.execs[e.SpecID][e.ID] = e
-	if r.viewStore != nil {
-		if err := r.viewStore.Materialize(e); err != nil {
-			delete(r.execs[e.SpecID], e.ID)
+	sh.execs[e.ID] = e
+	if sh.viewStore != nil {
+		if err := sh.viewStore.Materialize(e); err != nil {
+			delete(sh.execs, e.ID)
 			return fmt.Errorf("repo: materialize views: %w", err)
 		}
 	}
@@ -186,25 +372,72 @@ func (r *Repository) AddExecution(e *exec.Execution) error {
 // given access levels: every registered and future execution gets one
 // pre-collapsed, pre-masked copy per level, and Provenance serves from
 // them. Trades memory for per-query collapse cost (bench
-// BenchmarkMaterializedViews).
+// BenchmarkMaterializedViews). Shards are rebuilt in parallel on the
+// fan-out pool, in two phases so a build failure installs nothing: all
+// view stores are constructed first, and only when every shard
+// succeeded are they published (catching up on executions ingested
+// while building).
 func (r *Repository) EnableMaterialization(levels []privacy.Level) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	vs := index.NewViewStore()
-	for _, sid := range r.specIDsLocked() {
-		if err := vs.RegisterSpec(r.specs[sid], r.policies[sid], levels); err != nil {
-			return err
-		}
+	shards := r.snapshotShards()
+	built := make([]*index.ViewStore, len(shards))
+	covered := make([]map[string]bool, len(shards))
+	errs := make([]error, len(shards))
+	r.fanOut(len(shards), func(i int) {
+		built[i], covered[i], errs[i] = shards[i].buildViews(levels)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return err
 	}
-	for _, sid := range r.specIDsLocked() {
-		for _, e := range r.execs[sid] {
+	// Publish: future AddSpec materializes from here on; installViews
+	// re-diffs each shard's executions under its write lock, so nothing
+	// ingested during the build phase is missed.
+	r.mu.Lock()
+	r.matLevels = append([]privacy.Level(nil), levels...)
+	r.mu.Unlock()
+	for i, sh := range shards {
+		errs[i] = sh.installViews(built[i], covered[i])
+	}
+	return errors.Join(errs...)
+}
+
+// buildViews constructs (without installing) a view store covering the
+// shard's current executions, returning the execution ids it covers.
+func (sh *shard) buildViews(levels []privacy.Level) (*index.ViewStore, map[string]bool, error) {
+	sh.mu.RLock()
+	execs := make([]*exec.Execution, 0, len(sh.execs))
+	for _, e := range sh.execs {
+		execs = append(execs, e)
+	}
+	spec, pol := sh.spec, sh.policy
+	sh.mu.RUnlock()
+	vs := index.NewViewStore()
+	if err := vs.RegisterSpec(spec, pol, levels); err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(execs, func(i, j int) bool { return execs[i].ID < execs[j].ID })
+	covered := make(map[string]bool, len(execs))
+	for _, e := range execs {
+		if err := vs.Materialize(e); err != nil {
+			return nil, nil, err
+		}
+		covered[e.ID] = true
+	}
+	return vs, covered, nil
+}
+
+// installViews publishes a built view store, first materializing any
+// executions ingested since buildViews snapshotted the shard.
+func (sh *shard) installViews(vs *index.ViewStore, covered map[string]bool) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for id, e := range sh.execs {
+		if !covered[id] {
 			if err := vs.Materialize(e); err != nil {
 				return err
 			}
 		}
 	}
-	r.viewStore = vs
-	r.matLevels = append([]privacy.Level(nil), levels...)
+	sh.viewStore = vs
 	return nil
 }
 
@@ -213,23 +446,15 @@ func (r *Repository) EnableMaterialization(levels []privacy.Level) error {
 func (r *Repository) RemoveSpec(specID string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.specs[specID] == nil {
-		return fmt.Errorf("repo: unknown spec %q", specID)
+	if r.shards[specID] == nil {
+		return fmt.Errorf("repo: unknown spec %q: %w", specID, ErrNotFound)
 	}
-	delete(r.specs, specID)
-	delete(r.hier, specID)
-	delete(r.policies, specID)
-	delete(r.execs, specID)
-	if r.hierarchies != nil {
-		delete(r.hierarchies, specID)
-	}
-	if r.inverted != nil {
-		r.inverted.RemoveSpec(specID)
-	}
-	r.corpusMu.Lock()
-	r.corpora = make(map[privacy.Level]*rank.Corpus)
-	r.corpusMu.Unlock()
-	r.cache, _ = index.NewCache(256)
+	delete(r.shards, specID)
+	r.indexMu.Lock()
+	r.inverted.RemoveSpec(specID)
+	r.reach.RemoveSpec(specID)
+	r.indexMu.Unlock()
+	r.invalidateDerived()
 	return nil
 }
 
@@ -239,28 +464,26 @@ func (r *Repository) RemoveSpec(specID string) error {
 // utility for under-privileged users. Call before executions are
 // materialized.
 func (r *Repository) SetGeneralization(specID string, hs map[string]*datapriv.Hierarchy) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.specs[specID] == nil {
-		return fmt.Errorf("repo: unknown spec %q", specID)
+	sh, err := r.shardOrErr(specID)
+	if err != nil {
+		return err
 	}
-	if r.hierarchies == nil {
-		r.hierarchies = make(map[string]map[string]*datapriv.Hierarchy)
-	}
-	r.hierarchies[specID] = hs
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.hierarchies = hs
 	return nil
-}
-
-func (r *Repository) maskerFor(specID string) *datapriv.Masker {
-	return datapriv.NewMasker(r.policies[specID], r.hierarchies[specID])
 }
 
 // ExecutionIDs lists executions of a spec, sorted.
 func (r *Repository) ExecutionIDs(specID string) []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	ids := make([]string, 0, len(r.execs[specID]))
-	for id := range r.execs[specID] {
+	sh := r.shard(specID)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ids := make([]string, 0, len(sh.execs))
+	for id := range sh.execs {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -269,39 +492,78 @@ func (r *Repository) ExecutionIDs(specID string) []string {
 
 // AddUser registers (or replaces) a user.
 func (r *Repository) AddUser(u privacy.User) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.usersMu.Lock()
+	defer r.usersMu.Unlock()
 	cp := u
 	r.users[u.Name] = &cp
 }
 
 // User looks up a registered user.
 func (r *Repository) User(name string) (*privacy.User, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.usersMu.RLock()
+	defer r.usersMu.RUnlock()
 	u := r.users[name]
 	if u == nil {
-		return nil, fmt.Errorf("repo: unknown user %q", name)
+		return nil, fmt.Errorf("repo: unknown user %q: %w", name, ErrUnknownUser)
 	}
 	cp := *u
 	return &cp, nil
 }
 
+// Users returns the registered users, sorted by name.
+func (r *Repository) Users() []privacy.User {
+	r.usersMu.RLock()
+	defer r.usersMu.RUnlock()
+	names := make([]string, 0, len(r.users))
+	for n := range r.users {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]privacy.User, len(names))
+	for i, n := range names {
+		out[i] = *r.users[n]
+	}
+	return out
+}
+
 // corpusFor lazily builds the TF-IDF corpus visible at a level: each
 // spec is a document whose terms come only from modules the level may
 // see (module privacy) — the leak-free "visible-only scoring" mode.
-// Callers must hold r.mu (read suffices); corpusMu serializes the lazy
-// fill so concurrent readers do not race on the map.
+// Concurrent requests for the same level are deduplicated through the
+// flight group, so one goroutine builds while the rest wait; a
+// generation fence discards fills raced by an invalidation.
 func (r *Repository) corpusFor(level privacy.Level) *rank.Corpus {
-	r.corpusMu.Lock()
-	defer r.corpusMu.Unlock()
-	if c := r.corpora[level]; c != nil {
+	r.corpusMu.RLock()
+	c := r.corpora[level]
+	r.corpusMu.RUnlock()
+	if c != nil {
 		return c
 	}
+	v, _ := r.flights.Do(fmt.Sprintf("corpus|%d", int(level)), func() (any, error) {
+		r.corpusMu.RLock()
+		if c := r.corpora[level]; c != nil {
+			r.corpusMu.RUnlock()
+			return c, nil
+		}
+		gen := r.corpusGen
+		r.corpusMu.RUnlock()
+		c := r.buildCorpus(level)
+		r.corpusMu.Lock()
+		if r.corpusGen == gen {
+			r.corpora[level] = c
+		}
+		r.corpusMu.Unlock()
+		return c, nil
+	})
+	return v.(*rank.Corpus)
+}
+
+func (r *Repository) buildCorpus(level privacy.Level) *rank.Corpus {
 	c := rank.NewCorpus()
-	for _, sid := range r.specIDsLocked() {
-		s := r.specs[sid]
-		pol := r.policies[sid]
+	for _, sh := range r.snapshotShards() {
+		sh.mu.RLock()
+		s, pol := sh.spec, sh.policy
+		sh.mu.RUnlock()
 		var terms []string
 		for _, wid := range s.WorkflowIDs() {
 			for _, m := range s.Workflows[wid].Modules {
@@ -313,9 +575,8 @@ func (r *Repository) corpusFor(level privacy.Level) *rank.Corpus {
 				}
 			}
 		}
-		c.Add(sid, terms)
+		c.Add(s.ID, terms)
 	}
-	r.corpora[level] = c
 	return c
 }
 
@@ -337,7 +598,9 @@ type SearchOptions struct {
 // Search runs a keyword query as the given user: candidate specs come
 // from the privacy-classified inverted index, each is answered with its
 // minimal view clipped to the user's access view, and results are
-// ranked by TF-IDF over the level's visible corpus.
+// ranked by TF-IDF over the level's visible corpus. Candidate specs are
+// evaluated concurrently on the fan-out pool; the merge is
+// deterministic (score descending, spec id ascending).
 func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]SearchHit, error) {
 	u, err := r.User(userName)
 	if err != nil {
@@ -349,24 +612,29 @@ func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]S
 	}
 
 	cacheKey := fmt.Sprintf("search|%s|%d", queryText, opts.Buckets)
+	cache := r.cache.Load()
 	if !opts.BypassCache {
-		if v, ok := r.cacheGet(u.Group, cacheKey); ok {
+		if v, ok := cache.Get(u.Group, cacheKey); ok {
 			return v.([]SearchHit), nil
 		}
 	}
 
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-
 	// Candidate specs: any spec with a visible posting for the first
 	// term of some phrase.
-	candidates := make(map[string]bool)
+	candidateSet := make(map[string]bool)
+	r.indexMu.RLock()
 	for _, phrase := range phrases {
 		for _, p := range r.inverted.Lookup(phrase[0], u.Level) {
-			candidates[p.SpecID] = true
+			candidateSet[p.SpecID] = true
 		}
 	}
-	var hits []SearchHit
+	r.indexMu.RUnlock()
+	candidates := make([]string, 0, len(candidateSet))
+	for sid := range candidateSet {
+		candidates = append(candidates, sid)
+	}
+	sort.Strings(candidates)
+
 	corpus := r.corpusFor(u.Level)
 	var flat []string
 	for _, phrase := range phrases {
@@ -381,15 +649,30 @@ func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]S
 		scoreOf[rk.Doc] = rk.Score
 	}
 
-	for sid := range candidates {
-		s := r.specs[sid]
-		pol := r.policies[sid]
-		access := pol.AccessView(r.hier[sid], u.Level)
+	// Fan the per-spec minimal-view searches out over the pool; slot i
+	// belongs to candidate i, so the merge below is order-independent.
+	slots := make([]*SearchHit, len(candidates))
+	r.fanOut(len(candidates), func(i int) {
+		sid := candidates[i]
+		sh := r.shard(sid)
+		if sh == nil {
+			return // removed since the index lookup
+		}
+		sh.mu.RLock()
+		s, pol, hier := sh.spec, sh.policy, sh.hier
+		sh.mu.RUnlock()
+		access := pol.AccessView(hier, u.Level)
 		res, err := search.SearchWithAccess(s, phrases, access, pol, u.Level)
 		if err != nil {
-			continue // some phrase unmatched in this spec
+			return // some phrase unmatched in this spec
 		}
-		hits = append(hits, SearchHit{SpecID: sid, Score: scoreOf[sid], Result: res})
+		slots[i] = &SearchHit{SpecID: sid, Score: scoreOf[sid], Result: res}
+	})
+	var hits []SearchHit
+	for _, h := range slots {
+		if h != nil {
+			hits = append(hits, *h)
+		}
 	}
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
@@ -398,54 +681,49 @@ func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]S
 		return hits[i].SpecID < hits[j].SpecID
 	})
 	if !opts.BypassCache {
-		r.cachePut(u.Group, cacheKey, hits)
+		cache.Put(u.Group, cacheKey, hits)
 	}
 	return hits, nil
 }
 
-func (r *Repository) cacheGet(group, key string) (any, bool) {
-	r.mu.RLock()
-	c := r.cache
-	r.mu.RUnlock()
-	return c.Get(group, key)
-}
-
-func (r *Repository) cachePut(group, key string, v any) {
-	c := r.cache // callers hold r.mu
-	c.Put(group, key, v)
-}
-
 // CacheStats exposes cache hit/miss counters.
 func (r *Repository) CacheStats() (hits, misses int) {
-	r.mu.RLock()
-	c := r.cache
-	r.mu.RUnlock()
-	return c.Stats()
+	return r.cache.Load().Stats()
+}
+
+// queryContext resolves the common (user, shard, execution) triple of
+// the per-execution query paths.
+func (r *Repository) queryContext(userName, specID, execID string) (*privacy.User, *shard, *exec.Execution, error) {
+	u, err := r.User(userName)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sh, err := r.shardOrErr(specID)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sh.mu.RLock()
+	e := sh.execs[execID]
+	sh.mu.RUnlock()
+	if e == nil {
+		return nil, nil, nil, fmt.Errorf("repo: unknown execution %q of %s: %w", execID, specID, ErrNotFound)
+	}
+	return u, sh, e, nil
 }
 
 // Query evaluates a structural query (see query.Parse) against one
 // execution under the user's privacy constraints.
 func (r *Repository) Query(userName, specID, execID, queryText string) (*query.Answer, error) {
-	u, err := r.User(userName)
-	if err != nil {
-		return nil, err
-	}
 	q, err := query.Parse(queryText)
 	if err != nil {
 		return nil, err
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s := r.specs[specID]
-	if s == nil {
-		return nil, fmt.Errorf("repo: unknown spec %q", specID)
+	u, sh, e, err := r.queryContext(userName, specID, execID)
+	if err != nil {
+		return nil, err
 	}
-	e := r.execs[specID][execID]
-	if e == nil {
-		return nil, fmt.Errorf("repo: unknown execution %q of %s", execID, specID)
-	}
-	ev := query.NewEvaluator(s)
-	return ev.EvaluateWithPrivacy(q, e, r.policies[specID], u.Level)
+	ev := query.NewEvaluator(sh.spec)
+	return ev.EvaluateWithPrivacy(q, e, sh.policy, u.Level)
 }
 
 // Reaches answers the paper's core structural-privacy question — "does
@@ -468,19 +746,16 @@ func (r *Repository) Reaches(userName, specID, from, to string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s := r.specs[specID]
-	if s == nil {
-		return false, fmt.Errorf("repo: unknown spec %q", specID)
+	sh, err := r.shardOrErr(specID)
+	if err != nil {
+		return false, err
 	}
-	pol := r.policies[specID]
+	s, pol, h := sh.spec, sh.policy, sh.hier
 	for _, hp := range pol.HiddenPairsFor(u.Level) {
 		if hp.From == from && hp.To == to {
 			return false, nil
 		}
 	}
-	h := r.hier[specID]
 	access := pol.AccessView(h, u.Level)
 	if len(access) == len(h.All()) {
 		// Full access view: answer from the precomputed full-expansion
@@ -489,12 +764,14 @@ func (r *Repository) Reaches(userName, specID, from, to string) (bool, error) {
 		mf, _ := s.FindModule(from)
 		mt, _ := s.FindModule(to)
 		if mf == nil {
-			return false, fmt.Errorf("repo: unknown module %q", from)
+			return false, fmt.Errorf("repo: unknown module %q: %w", from, ErrNotFound)
 		}
 		if mt == nil {
-			return false, fmt.Errorf("repo: unknown module %q", to)
+			return false, fmt.Errorf("repo: unknown module %q: %w", to, ErrNotFound)
 		}
 		if mf.Kind != workflow.Composite && mt.Kind != workflow.Composite {
+			r.indexMu.RLock()
+			defer r.indexMu.RUnlock()
 			return r.reach.Reaches(specID, from, to), nil
 		}
 	}
@@ -503,11 +780,11 @@ func (r *Repository) Reaches(userName, specID, from, to string) (bool, error) {
 		return false, err
 	}
 	g := v.Graph()
-	rf, err := r.visibleRepr(s, h, v, from, access)
+	rf, err := visibleRepr(s, h, v, from, access)
 	if err != nil {
 		return false, err
 	}
-	rt, err := r.visibleRepr(s, h, v, to, access)
+	rt, err := visibleRepr(s, h, v, to, access)
 	if err != nil {
 		return false, err
 	}
@@ -520,13 +797,13 @@ func (r *Repository) Reaches(userName, specID, from, to string) (bool, error) {
 // visibleRepr maps a module id to the module that represents it in the
 // given view: itself when visible, else the via-module of its shallowest
 // hidden ancestor workflow.
-func (r *Repository) visibleRepr(s *workflow.Spec, h *workflow.Hierarchy, v *workflow.View, moduleID string, access workflow.Prefix) (string, error) {
+func visibleRepr(s *workflow.Spec, h *workflow.Hierarchy, v *workflow.View, moduleID string, access workflow.Prefix) (string, error) {
 	if v.Module(moduleID) != nil {
 		return moduleID, nil
 	}
 	m, w := s.FindModule(moduleID)
 	if m == nil {
-		return "", fmt.Errorf("repo: unknown module %q", moduleID)
+		return "", fmt.Errorf("repo: unknown module %q: %w", moduleID, ErrNotFound)
 	}
 	// Walk the workflow chain root..w; the first workflow outside the
 	// access view is represented by its via-module.
@@ -550,26 +827,16 @@ func (r *Repository) visibleRepr(s *workflow.Spec, h *workflow.Hierarchy, v *wor
 // composite detail until no privacy leak remains. Steps in the result
 // counts the re-evaluations — compare with the direct Query path.
 func (r *Repository) QueryZoomOut(userName, specID, execID, queryText string) (*query.ZoomOutResult, error) {
-	u, err := r.User(userName)
-	if err != nil {
-		return nil, err
-	}
 	q, err := query.Parse(queryText)
 	if err != nil {
 		return nil, err
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s := r.specs[specID]
-	if s == nil {
-		return nil, fmt.Errorf("repo: unknown spec %q", specID)
+	u, sh, e, err := r.queryContext(userName, specID, execID)
+	if err != nil {
+		return nil, err
 	}
-	e := r.execs[specID][execID]
-	if e == nil {
-		return nil, fmt.Errorf("repo: unknown execution %q of %s", execID, specID)
-	}
-	ev := query.NewEvaluator(s)
-	return ev.ZoomOut(q, e, r.policies[specID], u.Level)
+	ev := query.NewEvaluator(sh.spec)
+	return ev.ZoomOut(q, e, sh.policy, u.Level)
 }
 
 // QuerySpec evaluates a structural query against a specification (not
@@ -585,15 +852,13 @@ func (r *Repository) QuerySpec(userName, specID, queryText string) (*query.SpecA
 	if err != nil {
 		return nil, err
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s := r.specs[specID]
-	if s == nil {
-		return nil, fmt.Errorf("repo: unknown spec %q", specID)
+	sh, err := r.shardOrErr(specID)
+	if err != nil {
+		return nil, err
 	}
-	pol := r.policies[specID]
-	access := pol.AccessView(r.hier[specID], u.Level)
-	v, err := workflow.Expand(s, access)
+	pol := sh.policy
+	access := pol.AccessView(sh.hier, u.Level)
+	v, err := workflow.Expand(sh.spec, access)
 	if err != nil {
 		return nil, err
 	}
@@ -601,19 +866,85 @@ func (r *Repository) QuerySpec(userName, specID, queryText string) (*query.SpecA
 }
 
 // QueryAll evaluates a structural query against every execution of a
-// spec, returning non-empty answers.
+// spec, returning non-empty answers in execution-id order. Executions
+// are evaluated concurrently on the fan-out pool.
 func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answer, error) {
+	q, err := query.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	u, err := r.User(userName)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := r.shardOrErr(specID)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.RLock()
+	ids := make([]string, 0, len(sh.execs))
+	execs := make([]*exec.Execution, 0, len(sh.execs))
+	for id := range sh.execs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		execs = append(execs, sh.execs[id])
+	}
+	sh.mu.RUnlock()
+
+	answers := make([]*query.Answer, len(execs))
+	errs := make([]error, len(execs))
+	r.fanOut(len(execs), func(i int) {
+		ev := query.NewEvaluator(sh.spec)
+		answers[i], errs[i] = ev.EvaluateWithPrivacy(q, execs[i], sh.policy, u.Level)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
 	var out []*query.Answer
-	for _, eid := range r.ExecutionIDs(specID) {
-		ans, err := r.Query(userName, specID, eid, queryText)
-		if err != nil {
-			return nil, err
-		}
-		if len(ans.Bindings) > 0 {
+	for _, ans := range answers {
+		if ans != nil && len(ans.Bindings) > 0 {
 			out = append(out, ans)
 		}
 	}
 	return out, nil
+}
+
+// collapsedView returns the execution collapsed to the access view of
+// the given level, serving from the shard's singleflight-deduplicated
+// view cache: concurrent identical requests build the view once.
+func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.Level, access workflow.Prefix) (*exec.Execution, error) {
+	key := viewCacheKey{execID: e.ID, level: level}
+	sh.viewMu.RLock()
+	v := sh.viewCache[key]
+	sh.viewMu.RUnlock()
+	if v != nil {
+		return v, nil
+	}
+	got, err := r.flights.Do(fmt.Sprintf("view|%s|%s|%d", sh.spec.ID, e.ID, int(level)), func() (any, error) {
+		sh.viewMu.RLock()
+		v := sh.viewCache[key]
+		sh.viewMu.RUnlock()
+		if v != nil {
+			return v, nil
+		}
+		view, err := exec.Collapse(e, sh.spec, access)
+		if err != nil {
+			return nil, err
+		}
+		sh.viewMu.Lock()
+		if len(sh.viewCache) >= viewCacheCap {
+			sh.viewCache = make(map[viewCacheKey]*exec.Execution)
+		}
+		sh.viewCache[key] = view
+		sh.viewMu.Unlock()
+		return view, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got.(*exec.Execution), nil
 }
 
 // Provenance returns the provenance of a data item as the user may see
@@ -622,41 +953,35 @@ func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answ
 // from that view. An item hidden by the view is reported as not
 // visible.
 func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.Execution, error) {
-	u, err := r.User(userName)
+	u, sh, e, err := r.queryContext(userName, specID, execID)
 	if err != nil {
 		return nil, err
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s := r.specs[specID]
-	if s == nil {
-		return nil, fmt.Errorf("repo: unknown spec %q", specID)
-	}
-	e := r.execs[specID][execID]
-	if e == nil {
-		return nil, fmt.Errorf("repo: unknown execution %q of %s", execID, specID)
-	}
-	pol := r.policies[specID]
+	sh.mu.RLock()
+	pol := sh.policy
+	vs := sh.viewStore
+	hierarchies := sh.hierarchies
+	sh.mu.RUnlock()
 	// Fast path: a materialized view at exactly this level. Disabled
 	// when the spec has generalization hierarchies, which the view store
 	// does not apply (it redacts) — correctness over speed.
-	if r.viewStore != nil && r.hierarchies[specID] == nil {
-		if v := r.viewStore.Get(specID, execID, u.Level); v != nil {
+	if vs != nil && hierarchies == nil {
+		if v := vs.Get(specID, execID, u.Level); v != nil {
 			if v.Items[itemID] == nil {
-				return nil, fmt.Errorf("repo: item %s not visible at level %s", itemID, u.Level)
+				return nil, fmt.Errorf("repo: item %s not visible at level %s: %w", itemID, u.Level, ErrDenied)
 			}
 			return exec.Provenance(v, itemID)
 		}
 	}
-	access := pol.AccessView(r.hier[specID], u.Level)
-	view, err := exec.Collapse(e, s, access)
+	access := pol.AccessView(sh.hier, u.Level)
+	view, err := r.collapsedView(sh, e, u.Level, access)
 	if err != nil {
 		return nil, err
 	}
 	if view.Items[itemID] == nil {
-		return nil, fmt.Errorf("repo: item %s not visible at level %s", itemID, u.Level)
+		return nil, fmt.Errorf("repo: item %s not visible at level %s: %w", itemID, u.Level, ErrDenied)
 	}
-	masked, _ := r.maskerFor(specID).Mask(view, u.Level)
+	masked, _ := datapriv.NewMasker(pol, hierarchies).Mask(view, u.Level)
 	return exec.Provenance(masked, itemID)
 }
 
@@ -671,16 +996,22 @@ type Stats struct {
 
 // Stats returns repository statistics.
 func (r *Repository) Stats() Stats {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	st := Stats{Specs: len(r.specs), Users: len(r.users)}
-	for _, m := range r.execs {
-		st.Executions += len(m)
+	st := Stats{}
+	for _, sh := range r.snapshotShards() {
+		sh.mu.RLock()
+		st.Specs++
+		st.Executions += len(sh.execs)
+		sh.mu.RUnlock()
 	}
+	r.usersMu.RLock()
+	st.Users = len(r.users)
+	r.usersMu.RUnlock()
+	r.indexMu.RLock()
 	if r.inverted != nil {
 		st.IndexTerms = len(r.inverted.Terms())
 		st.Postings = r.inverted.Postings()
 	}
+	r.indexMu.RUnlock()
 	return st
 }
 

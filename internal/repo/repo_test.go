@@ -213,11 +213,7 @@ func TestQueryAllAndErrors(t *testing.T) {
 func TestProvenancePrivacyPipeline(t *testing.T) {
 	r := seededRepo(t)
 	// alice sees everything: provenance of the prognosis item (d18).
-	e := func() *exec.Execution {
-		r.mu.RLock()
-		defer r.mu.RUnlock()
-		return r.execs["disease-susceptibility"]["E1"]
-	}()
+	e := r.execution("disease-susceptibility", "E1")
 	var progID, snpID string
 	for id, it := range e.Items {
 		switch it.Attr {
@@ -338,11 +334,7 @@ func TestSetGeneralization(t *testing.T) {
 		t.Fatal("unknown spec accepted")
 	}
 	// carol (Analyst < Owner by 1): snps generalized 1 step, not redacted.
-	e := func() *exec.Execution {
-		r.mu.RLock()
-		defer r.mu.RUnlock()
-		return r.execs["disease-susceptibility"]["E1"]
-	}()
+	e := r.execution("disease-susceptibility", "E1")
 	var progID string
 	for id, it := range e.Items {
 		if it.Attr == "prognosis" {

@@ -1,0 +1,62 @@
+package repo
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup is a minimal singleflight: concurrent Do calls with the
+// same key share one execution of fn and all receive its result. Used
+// to deduplicate lazy builds of per-level ranking corpora and collapsed
+// provenance views, so a thundering herd of identical requests performs
+// the expensive construction exactly once.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do invokes fn once per key among concurrent callers: the first caller
+// runs it, the rest block until it finishes and share the result. The
+// key is forgotten afterwards, so later calls run fn again (the caches
+// layered above decide freshness).
+func (g *flightGroup) Do(key string, fn func() (any, error)) (any, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Cleanup must run even when fn panics: otherwise the key stays in
+	// g.calls and current + future callers for it block forever. A
+	// panicking fn is converted into an error for the waiters and
+	// re-raised in the original caller.
+	defer func() {
+		rec := recover()
+		if rec != nil {
+			c.val, c.err = nil, fmt.Errorf("repo: singleflight: panic: %v", rec)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		c.wg.Done()
+		if rec != nil {
+			panic(rec)
+		}
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err
+}

@@ -1,0 +1,73 @@
+package repo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightGroupSharesResult(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := g.Do("k", func() (any, error) {
+				calls.Add(1)
+				<-gate // hold the flight open until all callers queue
+				return "shared", nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i, v := range results {
+		if v != "shared" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	if c := calls.Load(); c < 1 || c > 8 {
+		t.Fatalf("calls = %d", c)
+	}
+}
+
+func TestFlightGroupErrorShared(t *testing.T) {
+	var g flightGroup
+	want := errors.New("boom")
+	if _, err := g.Do("k", func() (any, error) { return nil, want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	// The key is forgotten afterwards: a later call runs fresh.
+	v, err := g.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+// TestFlightGroupPanic checks the cleanup contract: a panicking fn must
+// release the key (no permanent wedge) and re-raise in the caller.
+func TestFlightGroupPanic(t *testing.T) {
+	var g flightGroup
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic not propagated to caller")
+			}
+		}()
+		_, _ = g.Do("k", func() (any, error) { panic("boom") })
+	}()
+	// The key must have been released: this call runs, not deadlocks.
+	v, err := g.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("post-panic Do = %v, %v", v, err)
+	}
+}

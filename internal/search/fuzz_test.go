@@ -1,0 +1,91 @@
+package search
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// Fuzz harnesses for the query-parsing front door — the first code that
+// touches attacker-controlled input once the repository is served over
+// HTTP. Run with `go test -fuzz=FuzzParseQuery ./internal/search`; the
+// seed corpus below keeps them running as plain tests in CI.
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "database", "disorder risks", "Expand SNP Set",
+		"a-b_c/d.e", "ss", "miss", "UPPER lower MiXeD",
+		"ends-with-s", "q\x00b", "héllo wörld", strings.Repeat("s", 100),
+		",,,", " \t ", "phrase, with, commas",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Errorf("Tokenize(%q) emitted empty token", s)
+				continue
+			}
+			if Normalize(tok) != tok {
+				t.Errorf("Tokenize(%q): token %q not normalized (Normalize → %q)", s, tok, Normalize(tok))
+			}
+			if tok != strings.ToLower(tok) {
+				t.Errorf("Tokenize(%q): token %q not lowercased", s, tok)
+			}
+		}
+	})
+}
+
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"", "database", "database, disorder risks", ",", ", ,",
+		"a,b,c,d,e", "one two three, four", "\x00,\xff", "π, ∞",
+		strings.Repeat("q,", 50), "trailing,", ",leading",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		phrases := ParseQuery(q)
+		for i, phrase := range phrases {
+			if len(phrase) == 0 {
+				t.Errorf("ParseQuery(%q): phrase %d empty", q, i)
+			}
+			for _, term := range phrase {
+				if term != Normalize(term) {
+					t.Errorf("ParseQuery(%q): term %q not normalized", q, term)
+				}
+			}
+		}
+		// Parsing is insensitive to a trailing comma and idempotent
+		// under re-joining: re-parsing the canonical form yields the
+		// same phrases.
+		if utf8.ValidString(q) {
+			var parts []string
+			for _, phrase := range phrases {
+				parts = append(parts, strings.Join(phrase, " "))
+			}
+			again := ParseQuery(strings.Join(parts, ", "))
+			if len(again) != len(phrases) {
+				t.Fatalf("ParseQuery not stable: %v vs %v", phrases, again)
+			}
+			for i := range again {
+				if strings.Join(again[i], " ") != strings.Join(phrases[i], " ") {
+					t.Fatalf("ParseQuery not stable at %d: %v vs %v", i, phrases[i], again[i])
+				}
+			}
+		}
+	})
+}
+
+func FuzzNormalizeIdempotent(f *testing.F) {
+	for _, seed := range []string{"", "Risks", "ss", "S", "glass", "genes", "données"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		once := Normalize(s)
+		if twice := Normalize(once); twice != once {
+			t.Errorf("Normalize not idempotent: %q → %q → %q", s, once, twice)
+		}
+	})
+}

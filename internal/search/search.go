@@ -36,7 +36,12 @@ func Tokenize(s string) []string {
 	})
 	out := make([]string, 0, len(fields))
 	for _, f := range fields {
-		out = append(out, Normalize(f))
+		// Fields made only of untrimmed whitespace (\r, \n, …) normalize
+		// to nothing; an empty term can never match and must not count
+		// as a phrase.
+		if t := Normalize(f); t != "" {
+			out = append(out, t)
+		}
 	}
 	return out
 }

@@ -1,0 +1,318 @@
+// Package server exposes the sharded provenance repository over HTTP —
+// the multi-tenant serving surface the paper's vision implies: a shared
+// repository "searched and queried by many users with different levels
+// of access". Every endpoint authenticates a repository principal (the
+// X-Prov-User header or ?user= parameter) and evaluates under that
+// user's privacy level; privacy enforcement stays inside the engine,
+// the transport only maps sentinel errors to status codes:
+//
+//	repo.ErrUnknownUser → 401
+//	repo.ErrDenied      → 403
+//	repo.ErrNotFound    → 404
+//	other request error → 400
+//
+// Endpoints (all JSON):
+//
+//	GET /api/v1/specs                               registered specs + executions
+//	GET /api/v1/search?q=Q[&buckets=N]              privacy-aware keyword search
+//	GET /api/v1/query?spec=S&q=Q[&exec=E][&zoom=1]  structural query (one or all executions)
+//	GET /api/v1/reach?spec=S&from=M1&to=M2          structural-privacy reachability
+//	GET /api/v1/provenance?spec=S&exec=E&item=D     masked provenance of a data item
+//	GET /api/v1/stats                               repository + cache statistics
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"provpriv/internal/query"
+	"provpriv/internal/repo"
+)
+
+// Server serves a Repository over HTTP. It is stateless apart from the
+// repository: handlers are safe for arbitrary concurrency because the
+// engine is.
+type Server struct {
+	repo *repo.Repository
+	mux  *http.ServeMux
+	// Logger, when non-nil, receives one line per failed request.
+	Logger *log.Logger
+}
+
+// New wraps a repository in an HTTP API.
+func New(r *repo.Repository) *Server {
+	s := &Server{repo: r, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/v1/specs", s.withUser(s.handleSpecs))
+	s.mux.HandleFunc("GET /api/v1/search", s.withUser(s.handleSearch))
+	s.mux.HandleFunc("GET /api/v1/query", s.withUser(s.handleQuery))
+	s.mux.HandleFunc("GET /api/v1/reach", s.withUser(s.handleReach))
+	s.mux.HandleFunc("GET /api/v1/provenance", s.withUser(s.handleProvenance))
+	s.mux.HandleFunc("GET /api/v1/stats", s.withUser(s.handleStats))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the uniform failure envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil && s.Logger != nil {
+		s.Logger.Printf("encode response: %v", err)
+	}
+}
+
+// fail maps an engine error to a protocol status via the repo sentinel
+// errors and writes the envelope.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, repo.ErrUnknownUser):
+		status = http.StatusUnauthorized
+	case errors.Is(err, repo.ErrDenied):
+		status = http.StatusForbidden
+	case errors.Is(err, repo.ErrNotFound):
+		status = http.StatusNotFound
+	}
+	if s.Logger != nil {
+		s.Logger.Printf("%s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+	}
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// userHandler is a handler that has already resolved its principal.
+type userHandler func(w http.ResponseWriter, r *http.Request, user string)
+
+// withUser authenticates the request principal: the X-Prov-User header,
+// or the user query parameter. The user must be registered in the
+// repository; endpoints pass the name down so the engine re-checks the
+// level on every operation (no privilege caching in the transport).
+func (s *Server) withUser(h userHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.Header.Get("X-Prov-User")
+		if name == "" {
+			name = r.URL.Query().Get("user")
+		}
+		if name == "" {
+			s.fail(w, r, fmt.Errorf("server: missing X-Prov-User header: %w", repo.ErrUnknownUser))
+			return
+		}
+		if _, err := s.repo.User(name); err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		h(w, r, name)
+	}
+}
+
+// specInfo is one row of the /specs listing.
+type specInfo struct {
+	ID         string   `json:"id"`
+	Name       string   `json:"name,omitempty"`
+	Executions []string `json:"executions"`
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request, user string) {
+	ids := s.repo.SpecIDs()
+	out := make([]specInfo, 0, len(ids))
+	for _, id := range ids {
+		sp := s.repo.Spec(id)
+		if sp == nil {
+			continue
+		}
+		execs := s.repo.ExecutionIDs(id)
+		if execs == nil {
+			execs = []string{}
+		}
+		out = append(out, specInfo{ID: id, Name: sp.Name, Executions: execs})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"specs": out})
+}
+
+// searchMatch mirrors search.Match for the wire.
+type searchMatch struct {
+	Phrase   string `json:"phrase"`
+	ModuleID string `json:"module"`
+	Workflow string `json:"workflow"`
+	ZoomedTo string `json:"zoomed_to,omitempty"`
+}
+
+// searchHit is one wire-format search result: the minimal-view prefix
+// and matches, without the full expanded view body.
+type searchHit struct {
+	SpecID    string        `json:"spec"`
+	Score     float64       `json:"score"`
+	Prefix    []string      `json:"prefix"`
+	ZoomedOut bool          `json:"zoomed_out,omitempty"`
+	Matches   []searchMatch `json:"matches"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user string) {
+	q := r.URL.Query().Get("q")
+	buckets := 0
+	if b := r.URL.Query().Get("buckets"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 0 {
+			s.fail(w, r, fmt.Errorf("server: bad buckets %q", b))
+			return
+		}
+		buckets = n
+	}
+	hits, err := s.repo.Search(user, q, repo.SearchOptions{Buckets: buckets})
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	out := make([]searchHit, 0, len(hits))
+	for _, h := range hits {
+		sh := searchHit{
+			SpecID:    h.SpecID,
+			Score:     h.Score,
+			Prefix:    h.Result.Prefix.IDs(),
+			ZoomedOut: h.Result.ZoomedOut,
+			Matches:   make([]searchMatch, 0, len(h.Result.Matches)),
+		}
+		for _, m := range h.Result.Matches {
+			sh.Matches = append(sh.Matches, searchMatch{
+				Phrase: m.Phrase, ModuleID: m.ModuleID, Workflow: m.Workflow, ZoomedTo: m.ZoomedTo,
+			})
+		}
+		out = append(out, sh)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"query": q, "hits": out})
+}
+
+// queryAnswer is the wire form of one structural-query answer.
+type queryAnswer struct {
+	ExecutionID string          `json:"execution"`
+	Bindings    []query.Binding `json:"bindings"`
+	Nodes       []string        `json:"nodes,omitempty"`
+	Downstream  [][]string      `json:"downstream,omitempty"`
+	ZoomedOut   bool            `json:"zoomed_out,omitempty"`
+	ZoomSteps   int             `json:"zoom_steps,omitempty"`
+}
+
+func toWireAnswer(a *query.Answer) queryAnswer {
+	return queryAnswer{
+		ExecutionID: a.ExecutionID,
+		Bindings:    a.Bindings,
+		Nodes:       a.Nodes,
+		Downstream:  a.Downstream,
+		ZoomedOut:   a.ZoomedOut,
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string) {
+	p := r.URL.Query()
+	specID, execID, q := p.Get("spec"), p.Get("exec"), p.Get("q")
+	if specID == "" || q == "" {
+		s.fail(w, r, fmt.Errorf("server: query needs spec and q parameters"))
+		return
+	}
+	switch {
+	case execID == "":
+		if p.Get("zoom") != "" {
+			s.fail(w, r, fmt.Errorf("server: zoom requires an exec parameter"))
+			return
+		}
+		// All executions of the spec (non-empty answers only).
+		answers, err := s.repo.QueryAll(user, specID, q)
+		if err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		out := make([]queryAnswer, 0, len(answers))
+		for _, a := range answers {
+			out = append(out, toWireAnswer(a))
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{"spec": specID, "answers": out})
+	case p.Get("zoom") != "":
+		res, err := s.repo.QueryZoomOut(user, specID, execID, q)
+		if err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		a := toWireAnswer(res.Answer)
+		a.ZoomSteps = res.Steps
+		s.writeJSON(w, http.StatusOK, map[string]any{"spec": specID, "answers": []queryAnswer{a}})
+	default:
+		a, err := s.repo.Query(user, specID, execID, q)
+		if err != nil {
+			s.fail(w, r, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{"spec": specID, "answers": []queryAnswer{toWireAnswer(a)}})
+	}
+}
+
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request, user string) {
+	p := r.URL.Query()
+	specID, from, to := p.Get("spec"), p.Get("from"), p.Get("to")
+	if specID == "" || from == "" || to == "" {
+		s.fail(w, r, fmt.Errorf("server: reach needs spec, from and to parameters"))
+		return
+	}
+	ok, err := s.repo.Reaches(user, specID, from, to)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"spec": specID, "from": from, "to": to, "reaches": ok,
+	})
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request, user string) {
+	p := r.URL.Query()
+	specID, execID, item := p.Get("spec"), p.Get("exec"), p.Get("item")
+	if specID == "" || execID == "" || item == "" {
+		s.fail(w, r, fmt.Errorf("server: provenance needs spec, exec and item parameters"))
+		return
+	}
+	prov, err := s.repo.Provenance(user, specID, execID, item)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	// The provenance view is already collapsed and masked for this
+	// user's level by the engine; it serializes with the persistence
+	// JSON shape.
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"spec": specID, "exec": execID, "item": item, "provenance": prov,
+	})
+}
+
+// statsBody is the /stats response.
+type statsBody struct {
+	Specs       int `json:"specs"`
+	Executions  int `json:"executions"`
+	Users       int `json:"users"`
+	IndexTerms  int `json:"index_terms"`
+	Postings    int `json:"postings"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, user string) {
+	st := s.repo.Stats()
+	hits, misses := s.repo.CacheStats()
+	s.writeJSON(w, http.StatusOK, statsBody{
+		Specs:      st.Specs,
+		Executions: st.Executions,
+		Users:      st.Users,
+		IndexTerms: st.IndexTerms,
+		Postings:   st.Postings,
+		CacheHits:  hits, CacheMisses: misses,
+	})
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/repo"
+	"provpriv/internal/workflow"
+)
+
+// newTestServer builds the paper's disease-susceptibility repository
+// (snps owner-only, module M6 owner-only, per-level view grants) behind
+// a live httptest server: the same fixture as the engine tests, now
+// exercised end-to-end over HTTP.
+func newTestServer(t *testing.T) (*httptest.Server, *repo.Repository, *exec.Execution) {
+	t.Helper()
+	r := repo.New()
+	s := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(s.ID)
+	pol.DataLevels["snps"] = privacy.Owner
+	pol.ModuleLevels["M6"] = privacy.Owner
+	pol.ViewGrants[privacy.Registered] = []string{"W2"}
+	pol.ViewGrants[privacy.Analyst] = []string{"W3", "W4"}
+	if err := r.AddSpec(s, pol); err != nil {
+		t.Fatalf("AddSpec: %v", err)
+	}
+	e, err := exec.NewRunner(s, nil).Run("E1", map[string]exec.Value{
+		"snps": "rs1", "ethnicity": "eth1", "lifestyle": "active",
+		"family_history": "fh1", "symptoms": "none",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := r.AddExecution(e); err != nil {
+		t.Fatalf("AddExecution: %v", err)
+	}
+	r.AddUser(privacy.User{Name: "alice", Level: privacy.Owner, Group: "owners"})
+	r.AddUser(privacy.User{Name: "bob", Level: privacy.Public, Group: "public"})
+	r.AddUser(privacy.User{Name: "carol", Level: privacy.Analyst, Group: "analysts"})
+	ts := httptest.NewServer(New(r))
+	t.Cleanup(ts.Close)
+	return ts, r, e
+}
+
+// get performs a GET as the given user and decodes the JSON body.
+func get(t *testing.T, ts *httptest.Server, user, path string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	if user != "" {
+		req.Header.Set("X-Prov-User", user)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: Content-Type = %q", path, ct)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", path, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// tryGet is the goroutine-safe variant of get: it reports failures as
+// values instead of calling into testing.T.
+func tryGet(ts *httptest.Server, user, path string, out any) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	if user != "" {
+		req.Header.Set("X-Prov-User", user)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("bad JSON %q: %w", body, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+type searchResp struct {
+	Query string      `json:"query"`
+	Hits  []searchHit `json:"hits"`
+}
+
+func TestSearchHitAndMiss(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	// Hit: the owner finds the OMIM module.
+	var hit searchResp
+	if code := get(t, ts, "alice", "/api/v1/search?q=omim", &hit); code != http.StatusOK {
+		t.Fatalf("search hit status = %d", code)
+	}
+	if len(hit.Hits) != 1 || hit.Hits[0].SpecID != "disease-susceptibility" {
+		t.Fatalf("hits = %+v", hit.Hits)
+	}
+	if hit.Hits[0].Score <= 0 || len(hit.Hits[0].Matches) == 0 {
+		t.Fatalf("degenerate hit: %+v", hit.Hits[0])
+	}
+	// Miss: a vocabulary word matching nothing yields an empty list,
+	// not an error.
+	var miss searchResp
+	if code := get(t, ts, "alice", "/api/v1/search?q=zebrafish", &miss); code != http.StatusOK {
+		t.Fatalf("search miss status = %d", code)
+	}
+	if len(miss.Hits) != 0 {
+		t.Fatalf("miss hits = %+v", miss.Hits)
+	}
+	// Module privacy through the wire: the same query as public finds
+	// nothing (M6 is owner-only).
+	var pub searchResp
+	if code := get(t, ts, "bob", "/api/v1/search?q=omim", &pub); code != http.StatusOK {
+		t.Fatalf("public search status = %d", code)
+	}
+	if len(pub.Hits) != 0 {
+		t.Fatalf("module privacy leaked over HTTP: %+v", pub.Hits)
+	}
+	// Bad request: empty query.
+	if code := get(t, ts, "alice", "/api/v1/search?q=", nil); code != http.StatusBadRequest {
+		t.Fatalf("empty query status = %d", code)
+	}
+}
+
+func TestProvenanceRetrievalAndMasking(t *testing.T) {
+	ts, _, e := newTestServer(t)
+	var progID, internalID string
+	for id, it := range e.Items {
+		switch it.Attr {
+		case "prognosis":
+			progID = id
+		case "snp_set":
+			internalID = id
+		}
+	}
+	var body struct {
+		Provenance *exec.Execution `json:"provenance"`
+	}
+	path := fmt.Sprintf("/api/v1/provenance?spec=disease-susceptibility&exec=E1&item=%s", progID)
+	if code := get(t, ts, "alice", path, &body); code != http.StatusOK {
+		t.Fatalf("owner provenance status = %d", code)
+	}
+	if body.Provenance == nil || len(body.Provenance.Nodes) < 5 {
+		t.Fatalf("owner provenance too small: %+v", body.Provenance)
+	}
+	// The public user gets the collapsed view with snps masked.
+	var pub struct {
+		Provenance *exec.Execution `json:"provenance"`
+	}
+	if code := get(t, ts, "bob", path, &pub); code != http.StatusOK {
+		t.Fatalf("public provenance status = %d", code)
+	}
+	for _, it := range pub.Provenance.Items {
+		if it.Attr == "snps" && !it.Redacted {
+			t.Fatal("protected snps value served unredacted over HTTP")
+		}
+	}
+	// Unknown item → 403, same as a hidden one: the engine deliberately
+	// does not distinguish "absent" from "not visible at your level",
+	// so the API cannot be used as an existence oracle.
+	if code := get(t, ts, "alice", "/api/v1/provenance?spec=disease-susceptibility&exec=E1&item=nope", nil); code != http.StatusForbidden {
+		t.Fatalf("unknown item status = %d", code)
+	}
+	_ = internalID
+}
+
+// TestPolicyDenialLowPrivilege is the policy-denial e2e path: an item
+// that exists but is outside the public user's access view answers 403,
+// and the error body names no value.
+func TestPolicyDenialLowPrivilege(t *testing.T) {
+	ts, _, e := newTestServer(t)
+	var internalID string
+	for id, it := range e.Items {
+		if it.Attr == "snp_set" {
+			internalID = id
+		}
+	}
+	path := fmt.Sprintf("/api/v1/provenance?spec=disease-susceptibility&exec=E1&item=%s", internalID)
+	var errBody errorBody
+	if code := get(t, ts, "bob", path, &errBody); code != http.StatusForbidden {
+		t.Fatalf("denial status = %d, want 403", code)
+	}
+	if errBody.Error == "" {
+		t.Fatal("empty denial error body")
+	}
+	// The same item is retrievable by the owner — the denial is policy,
+	// not absence.
+	if code := get(t, ts, "alice", path, nil); code != http.StatusOK {
+		t.Fatalf("owner status for same item = %d", code)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	if code := get(t, ts, "", "/api/v1/stats", nil); code != http.StatusUnauthorized {
+		t.Fatalf("missing user status = %d", code)
+	}
+	if code := get(t, ts, "mallory", "/api/v1/stats", nil); code != http.StatusUnauthorized {
+		t.Fatalf("unknown user status = %d", code)
+	}
+	// The user query parameter works as a header substitute (curl
+	// convenience documented in the README).
+	if code := get(t, ts, "", "/api/v1/stats?user=alice", nil); code != http.StatusOK {
+		t.Fatalf("user param status = %d", code)
+	}
+}
+
+func TestQueryAndReachEndpoints(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var q struct {
+		Answers []queryAnswer `json:"answers"`
+	}
+	path := `/api/v1/query?spec=disease-susceptibility&exec=E1&q=` +
+		`MATCH%20a%20%3D%20%22expand%20snp%22%2C%20b%20%3D%20%22query%20omim%22%20WHERE%20a%20~%3E%20b`
+	if code := get(t, ts, "alice", path, &q); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if len(q.Answers) != 1 || len(q.Answers[0].Bindings) != 1 {
+		t.Fatalf("answers = %+v", q.Answers)
+	}
+	// QueryAll form (no exec parameter).
+	var all struct {
+		Answers []queryAnswer `json:"answers"`
+	}
+	if code := get(t, ts, "alice", "/api/v1/query?spec=disease-susceptibility&q=MATCH%20a%20%3D%20%22reformat%22", &all); code != http.StatusOK {
+		t.Fatalf("query-all status = %d", code)
+	}
+	if len(all.Answers) != 1 {
+		t.Fatalf("query-all answers = %+v", all.Answers)
+	}
+	// Unknown spec → 404; malformed query → 400.
+	if code := get(t, ts, "alice", "/api/v1/query?spec=nope&exec=E1&q=MATCH%20a%20%3D%20%22x%22", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown spec status = %d", code)
+	}
+	if code := get(t, ts, "alice", "/api/v1/query?spec=disease-susceptibility&exec=E1&q=garbage", nil); code != http.StatusBadRequest {
+		t.Fatalf("garbage query status = %d", code)
+	}
+	// zoom without exec is a contradiction, not a silent QueryAll.
+	if code := get(t, ts, "alice", "/api/v1/query?spec=disease-susceptibility&q=MATCH%20a%20%3D%20%22reformat%22&zoom=1", nil); code != http.StatusBadRequest {
+		t.Fatalf("zoom without exec status = %d", code)
+	}
+
+	var reach struct {
+		Reaches bool `json:"reaches"`
+	}
+	if code := get(t, ts, "alice", "/api/v1/reach?spec=disease-susceptibility&from=M12&to=M11", &reach); code != http.StatusOK {
+		t.Fatalf("reach status = %d", code)
+	}
+	if !reach.Reaches {
+		t.Fatal("M12 -> M11 should reach for owner")
+	}
+}
+
+func TestSpecsAndStats(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var specs struct {
+		Specs []specInfo `json:"specs"`
+	}
+	if code := get(t, ts, "carol", "/api/v1/specs", &specs); code != http.StatusOK {
+		t.Fatalf("specs status = %d", code)
+	}
+	if len(specs.Specs) != 1 || specs.Specs[0].ID != "disease-susceptibility" ||
+		len(specs.Specs[0].Executions) != 1 {
+		t.Fatalf("specs = %+v", specs.Specs)
+	}
+	var st statsBody
+	if code := get(t, ts, "carol", "/api/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if st.Specs != 1 || st.Executions != 1 || st.Users != 3 || st.IndexTerms == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestParallelClients drives the full stack (HTTP transport + sharded
+// engine) from many concurrent clients mixing search, provenance and
+// query traffic at different privilege levels; run under -race this is
+// the end-to-end concurrency gate of the ISSUE.
+func TestParallelClients(t *testing.T) {
+	ts, _, e := newTestServer(t)
+	var progID string
+	for id, it := range e.Items {
+		if it.Attr == "prognosis" {
+			progID = id
+		}
+	}
+	users := []string{"alice", "bob", "carol"}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			user := users[c%len(users)]
+			for i := 0; i < 20; i++ {
+				var sr searchResp
+				if code, err := tryGet(ts, user, "/api/v1/search?q=database", &sr); err != nil || code != http.StatusOK {
+					t.Errorf("client %d: search status %d err %v", c, code, err)
+					return
+				}
+				path := fmt.Sprintf("/api/v1/provenance?spec=disease-susceptibility&exec=E1&item=%s", progID)
+				if code, err := tryGet(ts, user, path, nil); err != nil || code != http.StatusOK {
+					t.Errorf("client %d: provenance status %d err %v", c, code, err)
+					return
+				}
+				if code, err := tryGet(ts, user, "/api/v1/stats", nil); err != nil || code != http.StatusOK {
+					t.Errorf("client %d: stats status %d err %v", c, code, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
