@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -802,4 +803,128 @@ func BenchmarkSimulation(b *testing.B) {
 	}
 	b.ReportMetric(float64(leaks), "leaks")
 	b.ReportMetric(100, "ops/iter")
+}
+
+// ---------------------------------------------------------------------------
+// B12 — Index churn: cost of one spec mutation as the repository grows.
+// The segmented index rebuilds only the term lists the mutated spec
+// touches and publishes a copy-on-write snapshot; the rebuild baseline
+// re-indexes the whole repository. The gap (and its growth with
+// repository size) is what incremental maintenance buys; repo-mutation
+// additionally exercises the corpus delta path on a warm repository.
+
+func BenchmarkIndexChurn(b *testing.B) {
+	churn, err := workload.RandomSpec(workload.SpecConfig{
+		Seed: 9999, ID: "churn", Depth: 3, Fanout: 2, Chain: 4, SkipProb: 0.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{10, 50, 200} {
+		specs, pols := synthRepoFixture(b, n)
+		b.Run(fmt.Sprintf("specs=%d/incremental", n), func(b *testing.B) {
+			ix := index.BuildInverted(specs, pols)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix.AddSpec(churn, nil)
+				ix.RemoveSpec("churn")
+			}
+		})
+		b.Run(fmt.Sprintf("specs=%d/rebuild", n), func(b *testing.B) {
+			all := append(append([]*workflow.Spec{}, specs...), churn)
+			for i := 0; i < b.N; i++ {
+				index.BuildInverted(all, pols)   // add by rebuilding
+				index.BuildInverted(specs, pols) // remove by rebuilding
+			}
+		})
+		b.Run(fmt.Sprintf("specs=%d/repo-mutation", n), func(b *testing.B) {
+			r := repo.New()
+			for _, s := range specs {
+				if err := r.AddSpec(s, pols[s.ID]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r.AddUser(privacy.User{Name: "u", Level: privacy.Registered, Group: "g"})
+			// Warm the per-level corpus so mutations below go through
+			// the delta path, as they would on a serving repository.
+			if _, err := r.Search("u", "query", repo.SearchOptions{BypassCache: true}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.AddSpec(churn, nil); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.RemoveSpec("churn"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := r.Stats()
+			b.ReportMetric(float64(st.CorpusDeltas), "corpus-deltas")
+			b.ReportMetric(float64(st.CorpusRebuilds), "corpus-rebuilds")
+		})
+	}
+}
+
+// BenchmarkSearchMutateParallel measures the tentpole claim end to end:
+// read throughput under a continuous writer. With the lock-free index
+// snapshot and incremental corpus deltas, parallel search throughput
+// with a churning writer should stay close to the read-only figure
+// instead of collapsing behind a writer-held lock.
+func BenchmarkSearchMutateParallel(b *testing.B) {
+	run := func(b *testing.B, withWriter bool) {
+		r, queries := parallelSearchFixture(b, 12)
+		r.SetWorkers(runtime.GOMAXPROCS(0))
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if withWriter {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					sid := fmt.Sprintf("churn%d", i%4)
+					s, err := workload.RandomSpec(workload.SpecConfig{
+						Seed: int64(7000 + i%4), ID: sid, Depth: 2, Fanout: 2, Chain: 3,
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := r.AddSpec(s, nil); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := r.RemoveSpec(sid); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			j := int(next.Add(1)) * 17
+			for pb.Next() {
+				if _, err := r.Search("u", queries[j%len(queries)], repo.SearchOptions{BypassCache: true}); err != nil {
+					b.Fatal(err)
+				}
+				j++
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		if withWriter {
+			b.ReportMetric(float64(r.Stats().IndexSwaps), "index-swaps")
+		}
+	}
+	b.Run("read-only", func(b *testing.B) { run(b, false) })
+	b.Run("with-writer", func(b *testing.B) { run(b, true) })
 }

@@ -210,3 +210,190 @@ func TestRemoveSpec(t *testing.T) {
 	// Removing a non-registered spec is a no-op.
 	ix.RemoveSpec("ghost")
 }
+
+// TestLookupDuringChurn races lock-free Lookups against AddSpec /
+// RemoveSpec churn (run under -race). Every observed posting list must
+// be internally consistent: sorted in canonical order and never
+// containing a spec whose RemoveSpec already returned.
+func TestLookupDuringChurn(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	ix := BuildInverted(specs, pols)
+	var removed sync.Map // spec id -> true once RemoveSpec returned
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s, err := workflowRandom(int64(200 + i))
+			if err != nil {
+				t.Errorf("random spec: %v", err)
+				return
+			}
+			ix.AddSpec(s, nil)
+			ix.RemoveSpec(s.ID)
+			removed.Store(s.ID, true)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, term := range []string{"query", "database", "filter"} {
+					ps := ix.Lookup(term, privacy.Owner)
+					for i, p := range ps {
+						if i > 0 && postingLess(p, ps[i-1]) {
+							t.Errorf("postings out of order for %q", term)
+							return
+						}
+						if _, gone := removed.Load(p.SpecID); gone {
+							// Only a bug if the removal completed before
+							// this Lookup started; at worst we raced the
+							// store above, so re-check once after the
+							// snapshot that must reflect the removal.
+							if again := ix.Lookup(term, privacy.Owner); containsSpec(again, p.SpecID) {
+								if _, still := removed.Load(p.SpecID); still {
+									t.Errorf("stale posting for removed spec %s", p.SpecID)
+									return
+								}
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func containsSpec(ps []Posting, specID string) bool {
+	for _, p := range ps {
+		if p.SpecID == specID {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRemoveSpecImmediatelyInvisible is the sequential half of the
+// stale-postings guarantee: once RemoveSpec returns, no term lookup at
+// any level may serve the spec's postings.
+func TestRemoveSpecImmediatelyInvisible(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	ix := BuildInverted(specs, pols)
+	s2, err := workflowRandom(31)
+	if err != nil {
+		t.Fatalf("random spec: %v", err)
+	}
+	ix.AddSpec(s2, nil)
+	terms := ix.Terms()
+	ix.RemoveSpec(s2.ID)
+	for _, term := range terms {
+		if containsSpec(ix.Lookup(term, privacy.Owner), s2.ID) {
+			t.Fatalf("term %q still serves removed spec", term)
+		}
+	}
+}
+
+// TestSegmentsAndSwaps covers the churn counters the metrics endpoint
+// exports.
+func TestSegmentsAndSwaps(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	ix := BuildInverted(specs, pols)
+	if got := ix.Segments(); got != 1 {
+		t.Fatalf("Segments = %d", got)
+	}
+	if got := ix.Swaps(); got != 0 {
+		t.Fatalf("Swaps after build = %d", got)
+	}
+	s2, _ := workflowRandom(17)
+	ix.AddSpec(s2, nil)
+	if got := ix.Segments(); got != 2 {
+		t.Fatalf("Segments after add = %d", got)
+	}
+	ix.RemoveSpec(s2.ID)
+	if got, want := ix.Swaps(), int64(2); got != want {
+		t.Fatalf("Swaps = %d, want %d", got, want)
+	}
+	if got := ix.Segments(); got != 1 {
+		t.Fatalf("Segments after remove = %d", got)
+	}
+	// Removing an unknown spec swaps nothing.
+	ix.RemoveSpec("ghost")
+	if got := ix.Swaps(); got != 2 {
+		t.Fatalf("no-op remove swapped: %d", got)
+	}
+}
+
+// TestAddSpecReplacesSegment: re-adding a spec (e.g. after a policy
+// change) replaces its postings instead of duplicating them.
+func TestAddSpecReplacesSegment(t *testing.T) {
+	specs, pols := diseaseSetup(t)
+	ix := BuildInverted(specs, pols)
+	before := ix.Postings()
+	ix.AddSpec(specs[0], pols[specs[0].ID])
+	if got := ix.Postings(); got != before {
+		t.Fatalf("re-add changed postings: %d vs %d", got, before)
+	}
+	// Re-add with a different policy level reclassifies the postings.
+	pol2 := privacy.NewPolicy(specs[0].ID)
+	ix.AddSpec(specs[0], pol2) // everything public now
+	if got := ix.Lookup("omim", privacy.Public); len(got) != 1 {
+		t.Fatalf("reclassified posting not public: %v", got)
+	}
+}
+
+// TestReachIndexConcurrentChurn races lock-free Reaches against spec
+// add/remove (run under -race).
+func TestReachIndexConcurrentChurn(t *testing.T) {
+	specs, _ := diseaseSetup(t)
+	r, err := BuildReach(specs)
+	if err != nil {
+		t.Fatalf("BuildReach: %v", err)
+	}
+	id := specs[0].ID
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			s, err := workflowRandom(int64(300 + i))
+			if err != nil {
+				t.Errorf("random spec: %v", err)
+				return
+			}
+			if err := r.AddSpec(s); err != nil {
+				t.Errorf("AddSpec: %v", err)
+				return
+			}
+			r.RemoveSpec(s.ID)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if !r.Reaches(id, "M3", "M5") {
+					t.Error("stable spec lost reachability mid-churn")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

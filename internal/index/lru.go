@@ -1,0 +1,155 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LRU is a bounded, concurrency-safe cache with least-recently-used
+// eviction and optional TTL expiry. It replaces the drop-all-at-cap
+// strategy the repository's view cache started with: overflow now evicts
+// only the coldest entry, so a hot working set survives churn.
+//
+// The read path is designed for many concurrent readers: Get takes only
+// a read lock and records recency with an atomic logical-clock stamp, so
+// hits never serialize on a write lock. Put (misses only, by definition)
+// takes the write lock and, when full, evicts the smallest-stamp entry
+// with a scan — O(capacity), paid only on insert into a full cache,
+// which keeps the hot path cheap without a shared intrusive list.
+type LRU[K comparable, V any] struct {
+	mu       sync.RWMutex
+	capacity int
+	ttl      time.Duration // 0 = entries never expire
+	entries  map[K]*lruEntry[V]
+	clock    atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	// now is stubbed by tests to drive TTL expiry deterministically.
+	now func() time.Time
+}
+
+type lruEntry[V any] struct {
+	value   V
+	stamp   atomic.Int64 // logical last-access time
+	expires time.Time    // zero when no TTL
+}
+
+// NewLRU returns an LRU bounded to capacity entries (values < 1 are
+// clamped to 1) whose entries expire ttl after insertion (0 disables
+// expiry).
+func NewLRU[K comparable, V any](capacity int, ttl time.Duration) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ttl:      ttl,
+		entries:  make(map[K]*lruEntry[V], capacity),
+		now:      time.Now,
+	}
+}
+
+// Get returns the live cached value for key. Expired entries count as
+// misses and are deleted lazily.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	var zero V
+	if e == nil {
+		c.misses.Add(1)
+		return zero, false
+	}
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.mu.Lock()
+		// Re-check under the write lock: the slot may have been replaced
+		// by a fresh Put since we looked.
+		if cur := c.entries[key]; cur == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return zero, false
+	}
+	e.stamp.Store(c.clock.Add(1))
+	c.hits.Add(1)
+	return e.value, true
+}
+
+// Peek returns the live cached value for key without touching the
+// hit/miss counters or the recency stamp — for double-check paths that
+// already counted their initial Get.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	var zero V
+	if e == nil || (!e.expires.IsZero() && c.now().After(e.expires)) {
+		return zero, false
+	}
+	return e.value, true
+}
+
+// Put stores a value for key, evicting the least recently used entry
+// when the cache is full (expired entries are reaped first).
+func (c *LRU[K, V]) Put(key K, v V) {
+	e := &lruEntry[V]{value: v}
+	e.stamp.Store(c.clock.Add(1))
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= c.capacity {
+		c.evictLocked()
+	}
+	c.entries[key] = e
+}
+
+// evictLocked removes every expired entry, and if none was expired, the
+// entry with the oldest access stamp. Caller holds c.mu.
+func (c *LRU[K, V]) evictLocked() {
+	reaped := false
+	if c.ttl > 0 {
+		now := c.now()
+		for k, e := range c.entries {
+			if now.After(e.expires) {
+				delete(c.entries, k)
+				reaped = true
+			}
+		}
+	}
+	if reaped || len(c.entries) == 0 {
+		return
+	}
+	var coldest K
+	oldest := int64(0)
+	first := true
+	for k, e := range c.entries {
+		if s := e.stamp.Load(); first || s < oldest {
+			coldest, oldest, first = k, s, false
+		}
+	}
+	delete(c.entries, coldest)
+}
+
+// Len returns the number of entries currently held (including any not
+// yet reaped expired entries).
+func (c *LRU[K, V]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Purge drops every entry, keeping the hit/miss counters.
+func (c *LRU[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[K]*lruEntry[V], c.capacity)
+}
+
+// Stats returns cumulative (hits, misses).
+func (c *LRU[K, V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

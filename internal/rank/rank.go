@@ -19,16 +19,21 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Corpus holds term statistics over a set of documents (workflow specs,
 // with module keywords as terms).
 //
-// Concurrency contract: Corpus is not internally synchronized. The
-// repository builds each per-level corpus once (behind a singleflight)
-// and treats it as immutable afterwards; concurrent Rank/Score/TF/IDF
-// calls on a corpus that is no longer Added to are safe.
+// Concurrency contract: Corpus is internally synchronized with a
+// read/write mutex so the repository can apply incremental AddDoc /
+// RemoveDoc deltas on spec mutations while searches keep ranking against
+// the same corpus. Readers (Rank, Score, TF, IDF, N) take the read lock
+// once per call; mutators take the write lock for the duration of one
+// document's delta, so mutation cost is proportional to that document's
+// term count, never to corpus size.
 type Corpus struct {
+	mu   sync.RWMutex
 	docs map[string]map[string]int // doc -> term -> count
 	df   map[string]int            // term -> #docs containing it
 }
@@ -41,14 +46,9 @@ func NewCorpus() *Corpus {
 // Add indexes a document's terms (duplicates increase term frequency).
 // Adding the same doc id again replaces it.
 func (c *Corpus) Add(docID string, terms []string) {
-	if old, ok := c.docs[docID]; ok {
-		for t := range old {
-			c.df[t]--
-			if c.df[t] == 0 {
-				delete(c.df, t)
-			}
-		}
-	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.removeLocked(docID)
 	m := make(map[string]int)
 	for _, t := range terms {
 		m[t]++
@@ -59,14 +59,58 @@ func (c *Corpus) Add(docID string, terms []string) {
 	}
 }
 
+// AddDoc is the incremental-maintenance spelling of Add: it inserts (or
+// replaces) one document, updating document-frequency counts in
+// O(document terms).
+func (c *Corpus) AddDoc(docID string, terms []string) { c.Add(docID, terms) }
+
+// RemoveDoc deletes one document, decrementing the document frequency of
+// each of its terms — the inverse delta of AddDoc, O(document terms).
+// Removing an unknown doc is a no-op.
+func (c *Corpus) RemoveDoc(docID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.removeLocked(docID)
+}
+
+// removeLocked drops docID's contribution to docs and df. Caller holds
+// the write lock.
+func (c *Corpus) removeLocked(docID string) {
+	old, ok := c.docs[docID]
+	if !ok {
+		return
+	}
+	for t := range old {
+		c.df[t]--
+		if c.df[t] == 0 {
+			delete(c.df, t)
+		}
+	}
+	delete(c.docs, docID)
+}
+
 // N returns the number of documents.
-func (c *Corpus) N() int { return len(c.docs) }
+func (c *Corpus) N() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
 
 // TF returns the raw term frequency of term in doc.
-func (c *Corpus) TF(docID, term string) int { return c.docs[docID][term] }
+func (c *Corpus) TF(docID, term string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docs[docID][term]
+}
 
 // IDF returns log(1 + N/df). Terms absent everywhere get 0.
 func (c *Corpus) IDF(term string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idfLocked(term)
+}
+
+func (c *Corpus) idfLocked(term string) float64 {
 	df := c.df[term]
 	if df == 0 {
 		return 0
@@ -78,9 +122,15 @@ func (c *Corpus) IDF(term string) float64 {
 // Raw tf keeps the score linear in occurrence counts, which is exactly
 // what makes exact scores invertible — the leakage the paper describes.
 func (c *Corpus) Score(docID string, query []string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.scoreLocked(docID, query)
+}
+
+func (c *Corpus) scoreLocked(docID string, query []string) float64 {
 	var s float64
 	for _, t := range query {
-		s += float64(c.TF(docID, t)) * c.IDF(t)
+		s += float64(c.docs[docID][t]) * c.idfLocked(t)
 	}
 	return s
 }
@@ -92,14 +142,18 @@ type Ranked struct {
 }
 
 // Rank scores every document and returns them by descending score
-// (ties broken by doc id), dropping zero-score documents.
+// (ties broken by doc id), dropping zero-score documents. The whole pass
+// runs under one read lock, so a concurrent delta is either entirely
+// visible or entirely absent from the ranking.
 func (c *Corpus) Rank(query []string) []Ranked {
+	c.mu.RLock()
 	var out []Ranked
 	for d := range c.docs {
-		if s := c.Score(d, query); s > 0 {
+		if s := c.scoreLocked(d, query); s > 0 {
 			out = append(out, Ranked{Doc: d, Score: s})
 		}
 	}
+	c.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score

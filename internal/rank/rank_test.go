@@ -2,6 +2,7 @@ package rank
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -241,4 +242,118 @@ func TestPerturbBluntsAttack(t *testing.T) {
 	if repNoisy.MeanAbsErr <= repExact.MeanAbsErr {
 		t.Fatal("perturbation did not increase attack error")
 	}
+}
+
+// rankingsEqual compares two rankings entry by entry with a float
+// tolerance (deltas and rebuilds may differ in summation order).
+func rankingsEqual(a, b []Ranked) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Doc != b[i].Doc || math.Abs(a[i].Score-b[i].Score) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaMatchesRebuild is the incremental-maintenance contract: a
+// corpus maintained by AddDoc/RemoveDoc deltas must rank identically to
+// one rebuilt from scratch with the same final document set.
+func TestDeltaMatchesRebuild(t *testing.T) {
+	delta := NewCorpus()
+	delta.AddDoc("d1", []string{"database", "query"})
+	delta.AddDoc("d2", []string{"database", "workflow"})
+	delta.AddDoc("d3", []string{"query", "query", "provenance"})
+	delta.RemoveDoc("d2")
+	delta.AddDoc("d4", []string{"database", "database"})
+	delta.AddDoc("d1", []string{"database"}) // replace d1
+	delta.RemoveDoc("ghost")                 // no-op
+
+	rebuilt := NewCorpus()
+	rebuilt.Add("d1", []string{"database"})
+	rebuilt.Add("d3", []string{"query", "query", "provenance"})
+	rebuilt.Add("d4", []string{"database", "database"})
+
+	if delta.N() != rebuilt.N() {
+		t.Fatalf("N: %d vs %d", delta.N(), rebuilt.N())
+	}
+	for _, term := range []string{"database", "query", "workflow", "provenance"} {
+		if da, db := delta.IDF(term), rebuilt.IDF(term); math.Abs(da-db) > 1e-12 {
+			t.Fatalf("IDF(%s): %v vs %v", term, da, db)
+		}
+	}
+	for _, q := range [][]string{{"database"}, {"query"}, {"database", "provenance"}} {
+		if !rankingsEqual(delta.Rank(q), rebuilt.Rank(q)) {
+			t.Fatalf("Rank(%v): %v vs %v", q, delta.Rank(q), rebuilt.Rank(q))
+		}
+	}
+}
+
+// TestRemoveDocDropsDF checks document-frequency bookkeeping: removing
+// the last document holding a term zeroes its IDF.
+func TestRemoveDocDropsDF(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc("only", []string{"rare", "common"})
+	c.AddDoc("other", []string{"common"})
+	c.RemoveDoc("only")
+	if c.IDF("rare") != 0 {
+		t.Fatalf("IDF of orphaned term = %v", c.IDF("rare"))
+	}
+	if c.IDF("common") == 0 {
+		t.Fatal("surviving term lost its df")
+	}
+}
+
+// TestCorpusConcurrentDeltaAndRank races Rank/Score readers against
+// AddDoc/RemoveDoc writers (run under -race): every observed ranking
+// must be internally consistent — a doc either fully present or fully
+// absent, never a torn score.
+func TestCorpusConcurrentDeltaAndRank(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 8; i++ {
+		c.AddDoc(docName(i), []string{"database", "query"})
+	}
+	var wg, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := "churn"
+			if i%2 == 0 {
+				c.AddDoc(id, []string{"database", "database", "database"})
+			} else {
+				c.RemoveDoc(id)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rs := c.Rank([]string{"database"})
+				if len(rs) < 8 {
+					t.Errorf("ranking lost stable docs: %d", len(rs))
+					return
+				}
+				for _, r := range rs {
+					if r.Doc == "churn" && r.Score <= 0 {
+						t.Error("zero-score doc ranked")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait() // readers done; then stop the writer
+	close(stop)
+	writerWG.Wait()
 }

@@ -79,7 +79,7 @@ func FuzzPersistRoundTrip(f *testing.F) {
 		if got, want := fmt.Sprint(r2.ExecutionIDs("fz")), fmt.Sprint(r.ExecutionIDs("fz")); got != want {
 			t.Fatalf("ExecutionIDs: %s != %s", got, want)
 		}
-		if got, want := r2.Stats(), r.Stats(); got != want {
+		if got, want := r2.Stats().Content(), r.Stats().Content(); got != want {
 			t.Fatalf("Stats: %+v != %+v", got, want)
 		}
 		// JSON persistence coerces invalid UTF-8 to U+FFFD, so exact name

@@ -2,11 +2,17 @@ package repo
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
 
 	"provpriv/internal/exec"
+	"provpriv/internal/index"
 	"provpriv/internal/privacy"
 	"provpriv/internal/workflow"
 )
@@ -15,6 +21,17 @@ import (
 // one per spec, policy and execution, plus a manifest and the user
 // registry. The layout matches cmd/provgen's, so generated corpora and
 // saved repositories are interchangeable.
+//
+// Durability: every file is written compact (no indentation), to a
+// temporary file in the target directory, fsynced, and atomically
+// renamed into place — a crash mid-save can truncate no file, and the
+// manifest (written last) only ever references complete files.
+//
+// Incrementality: shards carry a mutation sequence number; saving twice
+// to the same directory rewrites only the shards mutated in between
+// (file names derive from spec/execution ids, so they are stable across
+// saves). The directory must not be modified externally between
+// incremental saves; saving to a new directory always writes everything.
 
 type manifest struct {
 	Specs      []string       `json:"specs"`
@@ -26,67 +43,192 @@ type manifest struct {
 // Save writes the repository's contents to dir (created if missing).
 // Indexes and caches are not persisted; Load rebuilds them. Each shard
 // is locked only while its own files are written, so a long save does
-// not freeze the whole repository.
+// not freeze the whole repository; shards unchanged since the previous
+// Save to the same dir are skipped entirely.
 func (r *Repository) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("repo: save: %w", err)
 	}
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+	if r.lastSaveDir != dir || r.savedSeqs == nil {
+		r.savedSeqs = make(map[string]uint64)
+		r.lastSaveDir = dir
+	}
+	live := make(map[string]bool)
 	var man manifest
-	for i, sid := range r.SpecIDs() {
+	for _, sid := range r.SpecIDs() {
 		sh := r.shard(sid)
 		if sh == nil {
 			continue // removed while saving
 		}
 		sh.mu.RLock()
+		seq := sh.seq
 		spec, pol := sh.spec, sh.policy
 		execIDs := make([]string, 0, len(sh.execs))
 		for id := range sh.execs {
 			execIDs = append(execIDs, id)
 		}
-		sortStrings(execIDs)
+		sort.Strings(execIDs)
 		execs := make([]*exec.Execution, len(execIDs))
 		for j, id := range execIDs {
 			execs[j] = sh.execs[id]
 		}
 		sh.mu.RUnlock()
 
-		specPath := fmt.Sprintf("spec-%d.json", i)
+		base := fileBase(sid)
+		specPath := "spec-" + base + ".json"
+		polPath := "policy-" + base + ".json"
+		man.Specs = append(man.Specs, specPath)
+		man.Policies = append(man.Policies, polPath)
+		execPaths := make([]string, len(execIDs))
+		for j, id := range execIDs {
+			execPaths[j] = "exec-" + base + "-" + fileBase(id) + ".json"
+		}
+		man.Executions = append(man.Executions, execPaths...)
+		live[sid] = true
+
+		if r.savedSeqs[sid] == seq {
+			continue // shard untouched since the last save to this dir
+		}
 		if err := writeJSON(filepath.Join(dir, specPath), spec); err != nil {
 			return err
 		}
-		man.Specs = append(man.Specs, specPath)
-		polPath := fmt.Sprintf("policy-%d.json", i)
 		if err := writeJSON(filepath.Join(dir, polPath), pol); err != nil {
 			return err
 		}
-		man.Policies = append(man.Policies, polPath)
 		for j, e := range execs {
-			execPath := fmt.Sprintf("exec-%d-%d.json", i, j)
-			if err := writeJSON(filepath.Join(dir, execPath), e); err != nil {
+			if err := writeJSON(filepath.Join(dir, execPaths[j]), e); err != nil {
 				return err
 			}
-			man.Executions = append(man.Executions, execPath)
+		}
+		r.savedSeqs[sid] = seq
+	}
+	for sid := range r.savedSeqs {
+		if !live[sid] {
+			delete(r.savedSeqs, sid) // spec removed: forget its seq
 		}
 	}
 	man.Users = append(man.Users, r.Users()...)
-	return writeJSON(filepath.Join(dir, "manifest.json"), man)
+	// Durability ordering: make the shard-file renames durable before
+	// the manifest that references them is renamed into place, then make
+	// the manifest durable before pruning. A crash at any point leaves a
+	// manifest whose files all exist (old or new); lost prune unlinks
+	// merely leave unreferenced orphans for the next Save.
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(dir, "manifest.json"), man); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	pruneOrphans(dir, man)
+	return nil
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+// syncDir fsyncs a directory so preceding renames in it survive a
+// crash. Platforms that reject fsync on directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("repo: sync %s: %w", dir, err)
+	}
+	defer d.Close()
+	// Best-effort on platforms that reject fsync on directories (or on
+	// read-only directory handles, as on Windows): only unexpected
+	// errors fail the save.
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) &&
+		!errors.Is(err, syscall.ENOTSUP) && !errors.Is(err, os.ErrPermission) {
+		return fmt.Errorf("repo: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// pruneOrphans deletes repository-layout files (spec-/policy-/exec-
+// *.json) the freshly written manifest no longer references — the
+// on-disk remains of removed specs. Only files matching our naming
+// scheme are touched; removal failures are ignored (orphans are
+// harmless to Load, which reads via the manifest).
+func pruneOrphans(dir string, man manifest) {
+	referenced := make(map[string]bool,
+		len(man.Specs)+len(man.Policies)+len(man.Executions)+1)
+	for _, paths := range [][]string{man.Specs, man.Policies, man.Executions} {
+		for _, p := range paths {
+			referenced[p] = true
+		}
+	}
+	referenced["manifest.json"] = true
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || referenced[name] || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if strings.HasPrefix(name, "spec-") || strings.HasPrefix(name, "policy-") ||
+			strings.HasPrefix(name, "exec-") {
+			os.Remove(filepath.Join(dir, name))
 		}
 	}
 }
 
+// fileBase derives a stable, filesystem-safe file-name stem from an id:
+// the sanitized id (truncated) plus a 64-bit FNV hash of the raw id, so
+// distinct ids sharing a sanitized prefix are kept apart (collision odds
+// ~2^-64 per pair; not adversarially safe, but Load validates content).
+func fileBase(id string) string {
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return fmt.Sprintf("%s-%016x", b.String(), h.Sum64())
+}
+
+// writeJSON writes v as compact JSON via a temp file and atomic rename,
+// so readers (and crash recovery) never observe a partially written
+// file.
 func writeJSON(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
+	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("repo: encode %s: %w", filepath.Base(path), err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("repo: write %s: %w", filepath.Base(path), err)
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("repo: write %s: %w", base, err)
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("repo: write %s: %w", base, werr)
 	}
 	return nil
 }
@@ -104,6 +246,11 @@ func Load(dir string) (*Repository, error) {
 		return nil, fmt.Errorf("repo: load manifest: %w", err)
 	}
 	r := New()
+	// Bulk ingest: register every shard first, then build each shared
+	// index exactly once — per-spec AddSpec would copy the index
+	// snapshot on every call, turning a large load quadratic.
+	specs := make([]*workflow.Spec, 0, len(man.Specs))
+	pols := make(map[string]*privacy.Policy, len(man.Specs))
 	for i, specPath := range man.Specs {
 		data, err := os.ReadFile(filepath.Join(dir, specPath))
 		if err != nil {
@@ -124,10 +271,20 @@ func Load(dir string) (*Repository, error) {
 				return nil, fmt.Errorf("repo: load policy %s: %w", man.Policies[i], err)
 			}
 		}
-		if err := r.AddSpec(spec, pol); err != nil {
+		if err := r.loadSpec(spec, pol); err != nil {
 			return nil, err
 		}
+		specs = append(specs, spec)
+		if pol != nil {
+			pols[spec.ID] = pol
+		}
 	}
+	r.inverted = index.BuildInverted(specs, pols)
+	reach, err := index.BuildReach(specs)
+	if err != nil {
+		return nil, err
+	}
+	r.reach = reach
 	for _, execPath := range man.Executions {
 		data, err := os.ReadFile(filepath.Join(dir, execPath))
 		if err != nil {

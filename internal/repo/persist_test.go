@@ -1,6 +1,7 @@
 package repo
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,7 +18,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	a, b := r.Stats(), r2.Stats()
+	a, b := r.Stats().Content(), r2.Stats().Content()
 	if a != b {
 		t.Fatalf("stats differ: %+v vs %+v", a, b)
 	}
@@ -74,7 +75,22 @@ func TestLoadCorruptSpec(t *testing.T) {
 	if err := r.Save(dir); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "spec-0.json"), []byte("{"), 0o644); err != nil {
+	// Corrupt the first spec file the manifest references (file names
+	// derive from spec ids, so resolve them through the manifest).
+	manData, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Specs []string `json:"specs"`
+	}
+	if err := json.Unmarshal(manData, &man); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Specs) == 0 {
+		t.Fatal("manifest lists no specs")
+	}
+	if err := os.WriteFile(filepath.Join(dir, man.Specs[0]), []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir); err == nil {

@@ -18,16 +18,24 @@
 // materialized views behind its own RWMutex, so traffic against
 // different specs never contends. The repository level keeps only the
 // shard directory, the user registry, the shared keyword/reachability
-// indexes and the per-level ranking corpora, each behind its own lock.
-// Multi-spec operations (Search, QueryAll, EnableMaterialization) fan
-// out across a bounded worker pool and merge deterministically; lazily
-// built per-level artifacts (ranking corpora, collapsed provenance
-// views) are deduplicated with a singleflight group so concurrent
-// identical requests build each view exactly once.
+// indexes and the per-level ranking corpora. The shared indexes
+// (index.Inverted, index.ReachIndex) publish their state as atomically
+// swapped immutable snapshots, so index reads on the search and reach
+// paths acquire no lock at all and spec mutations never stall readers.
+// Derived per-level ranking corpora are maintained incrementally: a
+// spec mutation applies an AddDoc/RemoveDoc delta to every already-built
+// corpus (cost proportional to the mutated spec, not the repository)
+// and only a policy change that reclassifies module levels falls back to
+// invalidate-and-rebuild. Multi-spec operations (Search, QueryAll,
+// EnableMaterialization) fan out across a bounded worker pool and merge
+// deterministically; lazily built per-level artifacts (ranking corpora,
+// collapsed provenance views) are deduplicated with a singleflight group
+// so concurrent identical requests build each view exactly once.
 //
-// Lock ordering: mu (shard directory) before indexMu before a shard's
-// mu. Read paths never hold two locks at once — they resolve the shard
-// pointer, release the directory lock, then lock the shard.
+// Lock ordering: polMu (policy-sensitive mutators) before mu (shard
+// directory) before corpusMu before a shard's mu. Read paths never hold
+// two locks at once — they resolve the shard pointer, release the
+// directory lock, then lock the shard.
 package repo
 
 import (
@@ -38,6 +46,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
@@ -82,23 +91,43 @@ type shard struct {
 	// data-privacy masking (values are coarsened instead of redacted).
 	hierarchies map[string]*datapriv.Hierarchy
 
-	// viewCache holds lazily collapsed (pre-mask) execution views keyed
-	// by (execID, level), deduplicated through the repository's flight
-	// group. Masking still runs per request (it is cheap and returns a
-	// copy); the expensive Collapse runs once per view.
-	viewMu    sync.RWMutex
-	viewCache map[viewCacheKey]*exec.Execution
+	// views holds lazily collapsed (pre-mask) execution views keyed by
+	// (execID, level), deduplicated through the repository's flight
+	// group. Eviction is LRU with a TTL, so overflow drops only the
+	// coldest view instead of the whole cache. Masking still runs per
+	// request (it is cheap and returns a copy); the expensive Collapse
+	// runs once per view.
+	views *index.LRU[viewCacheKey, *exec.Execution]
+
+	// polGen counts policy generations (bumped by UpdatePolicy);
+	// guarded by mu. It keys the collapsed-view cache so views built
+	// under a replaced policy are unreachable.
+	polGen uint64
+
+	// seq identifies the shard's last content mutation (executions,
+	// hierarchies, policy) — guarded by mu — so Save can skip shards
+	// unchanged since the last save to the same directory. Values come
+	// from the repository-wide mutSeq counter, so a removed-and-re-added
+	// spec id can never repeat a seq a previous Save recorded.
+	seq uint64
 }
 
 type viewCacheKey struct {
 	execID string
 	level  privacy.Level
+	// polGen is the shard's policy generation the view was collapsed
+	// under: a fill raced by UpdatePolicy lands under the old
+	// generation, where no post-update reader can hit it.
+	polGen uint64
 }
 
-// viewCacheCap bounds the number of collapsed views retained per shard;
-// on overflow the whole per-shard cache is dropped (views are cheap to
-// rebuild and the cap is generous: levels × executions).
-const viewCacheCap = 1024
+// viewCacheCap bounds the number of collapsed views retained per shard
+// (the cap is generous: levels × executions); viewCacheTTL bounds their
+// age so a long-idle view is rebuilt rather than pinned forever.
+const (
+	viewCacheCap = 1024
+	viewCacheTTL = 10 * time.Minute
+)
 
 // Repository is a concurrency-safe, per-spec-sharded store of specs,
 // executions, policies and users, with privacy-aware search and query
@@ -112,19 +141,51 @@ type Repository struct {
 	users   map[string]*privacy.User
 
 	// inverted and reach are shared across shards (one physical index
-	// serving every privilege level is the paper's point); they are not
-	// internally synchronized, so indexMu guards them.
-	indexMu  sync.RWMutex
+	// serving every privilege level is the paper's point). Both publish
+	// immutable snapshots internally: lookups are lock-free, mutations
+	// serialize inside the index.
 	inverted *index.Inverted
 	reach    *index.ReachIndex
 
 	cache atomic.Pointer[index.Cache]
 
 	// corpora caches the per-level visible TF-IDF corpus; corpusGen
-	// fences singleflight fills against concurrent invalidation.
+	// fences singleflight fills against concurrent mutation (a delta or
+	// invalidation bumps it, so a raced fill is discarded).
 	corpusMu  sync.RWMutex
 	corpora   map[privacy.Level]*rank.Corpus
 	corpusGen uint64
+
+	// corpusDeltas counts incremental AddDoc/RemoveDoc applications;
+	// corpusRebuilds counts from-scratch per-level corpus builds.
+	corpusDeltas   atomic.Int64
+	corpusRebuilds atomic.Int64
+
+	// cacheHitsBase/cacheMissesBase accumulate the counters of retired
+	// result caches (resetResultCache swaps the cache object), and
+	// viewHitsBase/viewMissesBase those of removed shards' view caches,
+	// keeping the *_total metrics monotonic.
+	cacheHitsBase   atomic.Int64
+	cacheMissesBase atomic.Int64
+	viewHitsBase    atomic.Int64
+	viewMissesBase  atomic.Int64
+
+	// saveMu guards the incremental-save bookkeeping: the directory of
+	// the previous Save and the per-shard mutation seq it captured.
+	// mutSeq issues globally unique shard seq values.
+	saveMu      sync.Mutex
+	lastSaveDir string
+	savedSeqs   map[string]uint64
+	mutSeq      atomic.Uint64
+
+	// polMu serializes the policy-sensitive mutators (AddSpec,
+	// RemoveSpec, UpdatePolicy, EnableMaterialization) against each
+	// other, so an
+	// in-flight policy update can neither interleave with another, nor
+	// re-register the segment of a spec a concurrent RemoveSpec just
+	// dropped, nor be overwritten by a materialization pass built under
+	// the policy it replaces. Lock order: polMu before mu.
+	polMu sync.Mutex
 
 	flights flightGroup
 
@@ -134,10 +195,24 @@ type Repository struct {
 	sem     chan struct{}
 }
 
+// resultCacheCap bounds the shared per-group search result cache.
+const resultCacheCap = 256
+
+// resetResultCache swaps in a fresh, empty result cache (cached search
+// hits may mention mutated specs, so every corpus-visible mutation
+// drops it).
+func (r *Repository) resetResultCache() {
+	cache, _ := index.NewCache(resultCacheCap)
+	if old := r.cache.Swap(cache); old != nil {
+		h, m := old.Stats()
+		r.cacheHitsBase.Add(int64(h))
+		r.cacheMissesBase.Add(int64(m))
+	}
+}
+
 // New returns an empty repository with a fan-out pool sized to the
 // machine.
 func New() *Repository {
-	cache, _ := index.NewCache(256)
 	r := &Repository{
 		shards:   make(map[string]*shard),
 		users:    make(map[string]*privacy.User),
@@ -146,7 +221,7 @@ func New() *Repository {
 	}
 	reach, _ := index.BuildReach(nil)
 	r.reach = reach
-	r.cache.Store(cache)
+	r.resetResultCache()
 	r.setWorkers(runtime.GOMAXPROCS(0))
 	return r
 }
@@ -241,63 +316,143 @@ func (r *Repository) snapshotShards() []*shard {
 // published only after its index entries exist, so readers never see a
 // searchable spec they cannot resolve.
 func (r *Repository) AddSpec(s *workflow.Spec, pol *privacy.Policy) error {
-	if err := s.Validate(); err != nil {
+	sh, pol, err := r.newShard(s, pol)
+	if err != nil {
 		return err
+	}
+	// Serialize against the other mutators (RemoveSpec, UpdatePolicy,
+	// EnableMaterialization): with polMu held, the duplicate check below
+	// is authoritative, the index entries this call publishes cannot be
+	// clobbered by a racing duplicate's rollback, and the corpus delta
+	// cannot land after a newer policy's rebuild. Readers never take
+	// polMu, so mutation work here stalls no read path.
+	r.polMu.Lock()
+	defer r.polMu.Unlock()
+	if r.shard(s.ID) != nil {
+		return fmt.Errorf("repo: spec %s already registered", s.ID)
+	}
+	// Heavy incremental index maintenance runs outside the directory
+	// lock: both indexes serialize writers internally and publish atomic
+	// snapshots, so readers on other specs are never stalled. A hit on
+	// the not-yet-published shard resolves to nil and is skipped, the
+	// same transient Search already tolerates for removal.
+	r.inverted.AddSpec(s, pol)
+	if err := r.reach.AddSpec(s); err != nil {
+		r.inverted.RemoveSpec(s.ID)
+		return err
+	}
+	r.mu.Lock()
+	if r.matLevels != nil {
+		vs := index.NewViewStore()
+		if err := vs.RegisterSpec(s, pol, r.matLevels); err != nil {
+			r.mu.Unlock()
+			r.inverted.RemoveSpec(s.ID)
+			r.reach.RemoveSpec(s.ID)
+			return err
+		}
+		sh.viewStore = vs
+	}
+	r.shards[s.ID] = sh
+	r.mu.Unlock()
+	// Corpus deltas after the directory lock (still under polMu): the
+	// corpusGen fence discards any rebuild raced by this mutation, and
+	// AddDoc is an idempotent replace if such a rebuild already picked
+	// the spec up.
+	r.applyCorpusDelta(func(level privacy.Level, c *rank.Corpus) {
+		c.AddDoc(s.ID, visibleSpecTerms(s, pol, level))
+	})
+	return nil
+}
+
+// newShard validates a spec + policy pair (nil policy = all-public) and
+// constructs its shard, without registering anything.
+func (r *Repository) newShard(s *workflow.Spec, pol *privacy.Policy) (*shard, *privacy.Policy, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
 	}
 	h, err := workflow.NewHierarchy(s)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if pol == nil {
 		pol = privacy.NewPolicy(s.ID)
 	}
 	if err := pol.Validate(s); err != nil {
+		return nil, nil, err
+	}
+	return &shard{
+		spec:   s,
+		hier:   h,
+		policy: pol,
+		execs:  make(map[string]*exec.Execution),
+		views:  index.NewLRU[viewCacheKey, *exec.Execution](viewCacheCap, viewCacheTTL),
+		seq:    r.mutSeq.Add(1),
+	}, pol, nil
+}
+
+// loadSpec registers a validated spec shard without touching the shared
+// indexes or corpora — the bulk-load path: Load registers every spec
+// first and then builds each index once, avoiding the per-spec snapshot
+// copy that would make a large load quadratic. Only valid on a private,
+// not-yet-shared repository.
+func (r *Repository) loadSpec(s *workflow.Spec, pol *privacy.Policy) error {
+	sh, _, err := r.newShard(s, pol)
+	if err != nil {
 		return err
 	}
-	sh := &shard{
-		spec:      s,
-		hier:      h,
-		policy:    pol,
-		execs:     make(map[string]*exec.Execution),
-		viewCache: make(map[viewCacheKey]*exec.Execution),
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, dup := r.shards[s.ID]; dup {
 		return fmt.Errorf("repo: spec %s already registered", s.ID)
 	}
-	if r.matLevels != nil {
-		vs := index.NewViewStore()
-		if err := vs.RegisterSpec(s, pol, r.matLevels); err != nil {
-			return err
-		}
-		sh.viewStore = vs
-	}
-	// Incremental index maintenance: add this spec's postings and
-	// closure, then publish the shard and invalidate derived state
-	// (corpora, result cache).
-	r.indexMu.Lock()
-	r.inverted.AddSpec(s, pol)
-	if err := r.reach.AddSpec(s); err != nil {
-		r.inverted.RemoveSpec(s.ID)
-		r.indexMu.Unlock()
-		return err
-	}
-	r.indexMu.Unlock()
 	r.shards[s.ID] = sh
-	r.invalidateDerived()
 	return nil
 }
 
 // invalidateDerived resets the lazily built per-level corpora and the
-// result cache after a corpus-visible mutation.
+// result cache. This is the full-rebuild fallback, reserved for
+// mutations that can reclassify what a level sees (policy updates);
+// plain spec add/remove goes through applyCorpusDelta instead.
 func (r *Repository) invalidateDerived() {
 	r.corpusMu.Lock()
 	r.corpora = make(map[privacy.Level]*rank.Corpus)
 	r.corpusGen++
 	r.corpusMu.Unlock()
-	cache, _ := index.NewCache(256)
-	r.cache.Store(cache)
+	r.resetResultCache()
+}
+
+// applyCorpusDelta incrementally maintains every already-built per-level
+// corpus through fn (an AddDoc or RemoveDoc of one spec), bumping the
+// generation counter so any in-flight from-scratch build is discarded
+// rather than overwriting the delta'd corpus with a stale one. The
+// result cache is still swapped out — cached search hits may mention the
+// mutated spec — but corpora no longer rebuild from scratch, so the cost
+// of a mutation scales with the mutated spec, not the repository.
+func (r *Repository) applyCorpusDelta(fn func(privacy.Level, *rank.Corpus)) {
+	r.corpusMu.Lock()
+	r.corpusGen++
+	for level, c := range r.corpora {
+		fn(level, c)
+		r.corpusDeltas.Add(1)
+	}
+	r.corpusMu.Unlock()
+	r.resetResultCache()
+}
+
+// visibleSpecTerms extracts the normalized keyword terms of the spec's
+// modules visible at level — the document the per-level corpus holds for
+// this spec.
+func visibleSpecTerms(s *workflow.Spec, pol *privacy.Policy, level privacy.Level) []string {
+	var terms []string
+	for _, wid := range s.WorkflowIDs() {
+		for _, m := range s.Workflows[wid].Modules {
+			if pol != nil && !pol.CanSeeModule(level, m.ID) {
+				continue
+			}
+			for _, kw := range m.AllKeywords() {
+				terms = append(terms, search.Normalize(kw))
+			}
+		}
+	}
+	return terms
 }
 
 // SpecIDs returns the registered spec ids, sorted.
@@ -327,7 +482,7 @@ func (r *Repository) Policy(specID string) *privacy.Policy {
 	if sh == nil {
 		return nil
 	}
-	return sh.policy
+	return sh.policySnapshot()
 }
 
 // execution returns one stored execution (nil when absent); used by
@@ -365,6 +520,7 @@ func (r *Repository) AddExecution(e *exec.Execution) error {
 			return fmt.Errorf("repo: materialize views: %w", err)
 		}
 	}
+	sh.seq = r.mutSeq.Add(1)
 	return nil
 }
 
@@ -378,6 +534,10 @@ func (r *Repository) AddExecution(e *exec.Execution) error {
 // succeeded are they published (catching up on executions ingested
 // while building).
 func (r *Repository) EnableMaterialization(levels []privacy.Level) error {
+	// Serialize against UpdatePolicy/RemoveSpec: views built here must
+	// reflect the policies in place when they are installed.
+	r.polMu.Lock()
+	defer r.polMu.Unlock()
 	shards := r.snapshotShards()
 	built := make([]*index.ViewStore, len(shards))
 	covered := make([]map[string]bool, len(shards))
@@ -442,20 +602,130 @@ func (sh *shard) installViews(vs *index.ViewStore, covered map[string]bool) erro
 }
 
 // RemoveSpec unregisters a spec, its policy, its executions and its
-// index entries. Queries against it fail afterwards.
+// index entries. Queries against it fail afterwards. Once RemoveSpec
+// returns, the index snapshots without the spec's postings are
+// published: no subsequent Lookup or Search can serve a stale posting
+// for it.
 func (r *Repository) RemoveSpec(specID string) error {
+	r.polMu.Lock()
+	defer r.polMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.shards[specID] == nil {
+	sh := r.shards[specID]
+	if sh == nil {
+		r.mu.Unlock()
 		return fmt.Errorf("repo: unknown spec %q: %w", specID, ErrNotFound)
 	}
+	if sh.views != nil {
+		h, m := sh.views.Stats()
+		r.viewHitsBase.Add(h)
+		r.viewMissesBase.Add(m)
+	}
 	delete(r.shards, specID)
-	r.indexMu.Lock()
+	r.mu.Unlock()
+	// Index swaps and corpus deltas run outside the directory lock so
+	// readers on other specs never stall; polMu still fences this
+	// against UpdatePolicy re-registering the segment.
 	r.inverted.RemoveSpec(specID)
 	r.reach.RemoveSpec(specID)
-	r.indexMu.Unlock()
+	r.applyCorpusDelta(func(level privacy.Level, c *rank.Corpus) {
+		c.RemoveDoc(specID)
+	})
+	return nil
+}
+
+// UpdatePolicy replaces a spec's privacy policy. Because a policy change
+// can reclassify which levels see which modules, this is the one
+// mutation that cannot be delta-maintained: the spec's index segment is
+// rebuilt with the new levels and every derived per-level corpus is
+// invalidated for a from-scratch rebuild (the fallback applyCorpusDelta
+// avoids). Materialized views and collapsed-view caches of the shard are
+// rebuilt/dropped for the same reason.
+//
+// All heavy work (re-materializing the shard's executions) happens
+// before anything is installed, holding no repository-wide lock, so a
+// failure leaves the old policy, views and indexes fully in place and
+// traffic on other specs never stalls.
+func (r *Repository) UpdatePolicy(specID string, pol *privacy.Policy) error {
+	r.polMu.Lock()
+	defer r.polMu.Unlock()
+	r.mu.RLock()
+	sh := r.shards[specID]
+	matLevels := r.matLevels
+	r.mu.RUnlock()
+	if sh == nil {
+		return fmt.Errorf("repo: unknown spec %q: %w", specID, ErrNotFound)
+	}
+	s := sh.spec // immutable once published
+	if pol == nil {
+		pol = privacy.NewPolicy(specID)
+	}
+	if err := pol.Validate(s); err != nil {
+		return err
+	}
+	// Phase 1 — build: construct the replacement view store (when
+	// materialization is on) over a snapshot of the shard's executions.
+	var vs *index.ViewStore
+	var covered map[string]bool
+	if matLevels != nil {
+		vs = index.NewViewStore()
+		if err := vs.RegisterSpec(s, pol, matLevels); err != nil {
+			return err
+		}
+		sh.mu.RLock()
+		execs := make([]*exec.Execution, 0, len(sh.execs))
+		for _, e := range sh.execs {
+			execs = append(execs, e)
+		}
+		sh.mu.RUnlock()
+		sort.Slice(execs, func(i, j int) bool { return execs[i].ID < execs[j].ID })
+		covered = make(map[string]bool, len(execs))
+		for _, e := range execs {
+			if err := vs.Materialize(e); err != nil {
+				return err
+			}
+			covered[e.ID] = true
+		}
+	}
+	// Phase 2 — install: re-register the spec's index segment with the
+	// new module levels (the index replaces postings atomically), then
+	// publish policy and views under the shard lock, catching up on
+	// executions ingested during the build. The window between the index
+	// swap and the policy install is benign: both old and new state are
+	// internally consistent, and invalidateDerived below rebuilds the
+	// corpora against the final policy.
+	oldPol := sh.policySnapshot()
+	r.inverted.AddSpec(s, pol)
+	sh.mu.Lock()
+	if vs != nil {
+		for id, e := range sh.execs {
+			if !covered[id] {
+				if err := vs.Materialize(e); err != nil {
+					sh.mu.Unlock()
+					r.inverted.AddSpec(s, oldPol) // roll the segment back
+					// Searches raced into the new-segment window may have
+					// cached results computed from it; drop them.
+					r.invalidateDerived()
+					return err
+				}
+			}
+		}
+		sh.viewStore = vs
+	}
+	sh.policy = pol
+	sh.polGen++      // old-generation cache entries become unreachable
+	sh.views.Purge() // and are dropped eagerly to free memory
+	sh.seq = r.mutSeq.Add(1)
+	sh.mu.Unlock()
 	r.invalidateDerived()
 	return nil
+}
+
+// policySnapshot reads the shard's current policy under its lock (the
+// policy pointer is mutable via UpdatePolicy; spec and hier are not).
+func (sh *shard) policySnapshot() *privacy.Policy {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.policy
 }
 
 // SetGeneralization installs generalization hierarchies for a spec's
@@ -471,6 +741,7 @@ func (r *Repository) SetGeneralization(specID string, hs map[string]*datapriv.Hi
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.hierarchies = hs
+	sh.seq = r.mutSeq.Add(1)
 	return nil
 }
 
@@ -559,23 +830,13 @@ func (r *Repository) corpusFor(level privacy.Level) *rank.Corpus {
 }
 
 func (r *Repository) buildCorpus(level privacy.Level) *rank.Corpus {
+	r.corpusRebuilds.Add(1)
 	c := rank.NewCorpus()
 	for _, sh := range r.snapshotShards() {
 		sh.mu.RLock()
 		s, pol := sh.spec, sh.policy
 		sh.mu.RUnlock()
-		var terms []string
-		for _, wid := range s.WorkflowIDs() {
-			for _, m := range s.Workflows[wid].Modules {
-				if pol != nil && !pol.CanSeeModule(level, m.ID) {
-					continue
-				}
-				for _, kw := range m.AllKeywords() {
-					terms = append(terms, search.Normalize(kw))
-				}
-			}
-		}
-		c.Add(s.ID, terms)
+		c.Add(s.ID, visibleSpecTerms(s, pol, level))
 	}
 	return c
 }
@@ -620,15 +881,14 @@ func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]S
 	}
 
 	// Candidate specs: any spec with a visible posting for the first
-	// term of some phrase.
+	// term of some phrase. Lookup reads the index's published snapshot —
+	// no lock — so concurrent spec mutations never stall the search path.
 	candidateSet := make(map[string]bool)
-	r.indexMu.RLock()
 	for _, phrase := range phrases {
 		for _, p := range r.inverted.Lookup(phrase[0], u.Level) {
 			candidateSet[p.SpecID] = true
 		}
 	}
-	r.indexMu.RUnlock()
 	candidates := make([]string, 0, len(candidateSet))
 	for sid := range candidateSet {
 		candidates = append(candidates, sid)
@@ -686,9 +946,11 @@ func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]S
 	return hits, nil
 }
 
-// CacheStats exposes cache hit/miss counters.
+// CacheStats exposes cumulative result-cache hit/miss counters
+// (monotonic across the cache swaps every mutation performs).
 func (r *Repository) CacheStats() (hits, misses int) {
-	return r.cache.Load().Stats()
+	h, m := r.cache.Load().Stats()
+	return h + int(r.cacheHitsBase.Load()), m + int(r.cacheMissesBase.Load())
 }
 
 // queryContext resolves the common (user, shard, execution) triple of
@@ -723,7 +985,7 @@ func (r *Repository) Query(userName, specID, execID, queryText string) (*query.A
 		return nil, err
 	}
 	ev := query.NewEvaluator(sh.spec)
-	return ev.EvaluateWithPrivacy(q, e, sh.policy, u.Level)
+	return ev.EvaluateWithPrivacy(q, e, sh.policySnapshot(), u.Level)
 }
 
 // Reaches answers the paper's core structural-privacy question — "does
@@ -750,7 +1012,7 @@ func (r *Repository) Reaches(userName, specID, from, to string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	s, pol, h := sh.spec, sh.policy, sh.hier
+	s, pol, h := sh.spec, sh.policySnapshot(), sh.hier
 	for _, hp := range pol.HiddenPairsFor(u.Level) {
 		if hp.From == from && hp.To == to {
 			return false, nil
@@ -770,8 +1032,6 @@ func (r *Repository) Reaches(userName, specID, from, to string) (bool, error) {
 			return false, fmt.Errorf("repo: unknown module %q: %w", to, ErrNotFound)
 		}
 		if mf.Kind != workflow.Composite && mt.Kind != workflow.Composite {
-			r.indexMu.RLock()
-			defer r.indexMu.RUnlock()
 			return r.reach.Reaches(specID, from, to), nil
 		}
 	}
@@ -836,7 +1096,7 @@ func (r *Repository) QueryZoomOut(userName, specID, execID, queryText string) (*
 		return nil, err
 	}
 	ev := query.NewEvaluator(sh.spec)
-	return ev.ZoomOut(q, e, sh.policy, u.Level)
+	return ev.ZoomOut(q, e, sh.policySnapshot(), u.Level)
 }
 
 // QuerySpec evaluates a structural query against a specification (not
@@ -856,7 +1116,7 @@ func (r *Repository) QuerySpec(userName, specID, queryText string) (*query.SpecA
 	if err != nil {
 		return nil, err
 	}
-	pol := sh.policy
+	pol := sh.policySnapshot()
 	access := pol.AccessView(sh.hier, u.Level)
 	v, err := workflow.Expand(sh.spec, access)
 	if err != nil {
@@ -891,13 +1151,14 @@ func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answ
 	for _, id := range ids {
 		execs = append(execs, sh.execs[id])
 	}
+	pol := sh.policy // one snapshot: every execution answers under the same policy
 	sh.mu.RUnlock()
 
 	answers := make([]*query.Answer, len(execs))
 	errs := make([]error, len(execs))
 	r.fanOut(len(execs), func(i int) {
 		ev := query.NewEvaluator(sh.spec)
-		answers[i], errs[i] = ev.EvaluateWithPrivacy(q, execs[i], sh.policy, u.Level)
+		answers[i], errs[i] = ev.EvaluateWithPrivacy(q, execs[i], pol, u.Level)
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
@@ -914,31 +1175,20 @@ func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answ
 // collapsedView returns the execution collapsed to the access view of
 // the given level, serving from the shard's singleflight-deduplicated
 // view cache: concurrent identical requests build the view once.
-func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.Level, access workflow.Prefix) (*exec.Execution, error) {
-	key := viewCacheKey{execID: e.ID, level: level}
-	sh.viewMu.RLock()
-	v := sh.viewCache[key]
-	sh.viewMu.RUnlock()
-	if v != nil {
+func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.Level, access workflow.Prefix, polGen uint64) (*exec.Execution, error) {
+	key := viewCacheKey{execID: e.ID, level: level, polGen: polGen}
+	if v, ok := sh.views.Get(key); ok {
 		return v, nil
 	}
-	got, err := r.flights.Do(fmt.Sprintf("view|%s|%s|%d", sh.spec.ID, e.ID, int(level)), func() (any, error) {
-		sh.viewMu.RLock()
-		v := sh.viewCache[key]
-		sh.viewMu.RUnlock()
-		if v != nil {
+	got, err := r.flights.Do(fmt.Sprintf("view|%s|%s|%d|%d", sh.spec.ID, e.ID, int(level), polGen), func() (any, error) {
+		if v, ok := sh.views.Peek(key); ok {
 			return v, nil
 		}
 		view, err := exec.Collapse(e, sh.spec, access)
 		if err != nil {
 			return nil, err
 		}
-		sh.viewMu.Lock()
-		if len(sh.viewCache) >= viewCacheCap {
-			sh.viewCache = make(map[viewCacheKey]*exec.Execution)
-		}
-		sh.viewCache[key] = view
-		sh.viewMu.Unlock()
+		sh.views.Put(key, view)
 		return view, nil
 	})
 	if err != nil {
@@ -961,6 +1211,7 @@ func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.
 	pol := sh.policy
 	vs := sh.viewStore
 	hierarchies := sh.hierarchies
+	polGen := sh.polGen
 	sh.mu.RUnlock()
 	// Fast path: a materialized view at exactly this level. Disabled
 	// when the spec has generalization hierarchies, which the view store
@@ -974,7 +1225,7 @@ func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.
 		}
 	}
 	access := pol.AccessView(sh.hier, u.Level)
-	view, err := r.collapsedView(sh, e, u.Level, access)
+	view, err := r.collapsedView(sh, e, u.Level, access, polGen)
 	if err != nil {
 		return nil, err
 	}
@@ -985,13 +1236,55 @@ func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.
 	return exec.Provenance(masked, itemID)
 }
 
-// Stats summarizes repository contents.
+// Stats summarizes repository contents and the health of its derived
+// state: result-cache and view-cache hit rates, index segment/snapshot
+// churn, and how corpus maintenance is being paid for (deltas vs full
+// rebuilds).
 type Stats struct {
 	Specs      int
 	Executions int
 	Users      int
 	IndexTerms int
 	Postings   int
+
+	// IndexSegments is the number of per-spec index segments;
+	// IndexSwaps counts snapshot publications (spec mutations).
+	IndexSegments int
+	IndexSwaps    int64
+
+	// CacheHits/CacheMisses are the shared result cache's counters;
+	// ViewCacheHits/ViewCacheMisses aggregate the per-shard collapsed-
+	// view LRUs of the currently registered shards.
+	CacheHits       int
+	CacheMisses     int
+	ViewCacheHits   int64
+	ViewCacheMisses int64
+
+	// CorpusLevels is how many per-level corpora are currently built;
+	// CorpusDeltas counts incremental document deltas applied to them,
+	// CorpusRebuilds counts from-scratch builds.
+	CorpusLevels   int
+	CorpusDeltas   int64
+	CorpusRebuilds int64
+}
+
+// ContentStats is the persisted-content subset of Stats — the part a
+// save/load round trip must preserve exactly (counters and cache state
+// are runtime artifacts and are not persisted).
+type ContentStats struct {
+	Specs      int
+	Executions int
+	Users      int
+	IndexTerms int
+	Postings   int
+}
+
+// Content projects the persistent-content fields out of Stats.
+func (s Stats) Content() ContentStats {
+	return ContentStats{
+		Specs: s.Specs, Executions: s.Executions, Users: s.Users,
+		IndexTerms: s.IndexTerms, Postings: s.Postings,
+	}
 }
 
 // Stats returns repository statistics.
@@ -1003,15 +1296,37 @@ func (r *Repository) Stats() Stats {
 		st.Executions += len(sh.execs)
 		sh.mu.RUnlock()
 	}
+	// View-cache totals are summed under the directory lock so they
+	// cannot interleave with RemoveSpec banking a dying shard's counters
+	// into the base (which happens under the directory write lock) —
+	// otherwise a shard could be counted both live and banked, making
+	// the exported counters non-monotonic.
+	r.mu.RLock()
+	for _, sh := range r.shards {
+		if sh.views != nil {
+			h, m := sh.views.Stats()
+			st.ViewCacheHits += h
+			st.ViewCacheMisses += m
+		}
+	}
+	st.ViewCacheHits += r.viewHitsBase.Load()
+	st.ViewCacheMisses += r.viewMissesBase.Load()
+	r.mu.RUnlock()
 	r.usersMu.RLock()
 	st.Users = len(r.users)
 	r.usersMu.RUnlock()
-	r.indexMu.RLock()
 	if r.inverted != nil {
-		st.IndexTerms = len(r.inverted.Terms())
+		st.IndexTerms = r.inverted.TermCount()
 		st.Postings = r.inverted.Postings()
+		st.IndexSegments = r.inverted.Segments()
+		st.IndexSwaps = r.inverted.Swaps()
 	}
-	r.indexMu.RUnlock()
+	st.CacheHits, st.CacheMisses = r.CacheStats()
+	r.corpusMu.RLock()
+	st.CorpusLevels = len(r.corpora)
+	r.corpusMu.RUnlock()
+	st.CorpusDeltas = r.corpusDeltas.Load()
+	st.CorpusRebuilds = r.corpusRebuilds.Load()
 	return st
 }
 

@@ -14,20 +14,27 @@
 // Endpoints (all JSON):
 //
 //	GET /api/v1/specs                               registered specs + executions
-//	GET /api/v1/search?q=Q[&buckets=N]              privacy-aware keyword search
-//	GET /api/v1/query?spec=S&q=Q[&exec=E][&zoom=1]  structural query (one or all executions)
+//	GET /api/v1/search?q=Q[&buckets=N][&limit=L&offset=O]  privacy-aware keyword search
+//	GET /api/v1/query?spec=S&q=Q[&exec=E][&zoom=1][&limit=L&offset=O]  structural query
 //	GET /api/v1/reach?spec=S&from=M1&to=M2          structural-privacy reachability
 //	GET /api/v1/provenance?spec=S&exec=E&item=D     masked provenance of a data item
 //	GET /api/v1/stats                               repository + cache statistics
+//	GET /metrics                                    Prometheus-style counters (no auth)
+//
+// Search and query responses are paginated with limit/offset (limit 0 =
+// unlimited); the pre-pagination result count is returned as "total" so
+// clients can page without a second query.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"provpriv/internal/query"
 	"provpriv/internal/repo"
@@ -52,6 +59,9 @@ func New(r *repo.Repository) *Server {
 	s.mux.HandleFunc("GET /api/v1/reach", s.withUser(s.handleReach))
 	s.mux.HandleFunc("GET /api/v1/provenance", s.withUser(s.handleProvenance))
 	s.mux.HandleFunc("GET /api/v1/stats", s.withUser(s.handleStats))
+	// Metrics are operational, not user data: no principal required, so
+	// scrapers don't need a repository account.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -158,6 +168,40 @@ type searchHit struct {
 	Matches   []searchMatch `json:"matches"`
 }
 
+// parsePage extracts limit/offset pagination parameters (both optional,
+// both non-negative; limit 0 means unlimited).
+func parsePage(r *http.Request) (limit, offset int, err error) {
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"limit", &limit}, {"offset", &offset}} {
+		v := r.URL.Query().Get(p.name)
+		if v == "" {
+			continue
+		}
+		n, aerr := strconv.Atoi(v)
+		if aerr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("server: bad %s %q", p.name, v)
+		}
+		*p.dst = n
+	}
+	return limit, offset, nil
+}
+
+// page windows a slice to [offset, offset+limit) (limit 0 = to the end),
+// returning the window and the pre-pagination total.
+func page[T any](items []T, limit, offset int) ([]T, int) {
+	total := len(items)
+	if offset >= total {
+		return items[:0], total
+	}
+	items = items[offset:]
+	if limit > 0 && limit < len(items) {
+		items = items[:limit]
+	}
+	return items, total
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user string) {
 	q := r.URL.Query().Get("q")
 	buckets := 0
@@ -169,11 +213,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user strin
 		}
 		buckets = n
 	}
+	limit, offset, err := parsePage(r)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
 	hits, err := s.repo.Search(user, q, repo.SearchOptions{Buckets: buckets})
 	if err != nil {
 		s.fail(w, r, err)
 		return
 	}
+	hits, total := page(hits, limit, offset)
 	out := make([]searchHit, 0, len(hits))
 	for _, h := range hits {
 		sh := searchHit{
@@ -190,7 +240,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user strin
 		}
 		out = append(out, sh)
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"query": q, "hits": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"query": q, "hits": out, "total": total, "offset": offset,
+	})
 }
 
 // queryAnswer is the wire form of one structural-query answer.
@@ -220,6 +272,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 		s.fail(w, r, fmt.Errorf("server: query needs spec and q parameters"))
 		return
 	}
+	limit, offset, err := parsePage(r)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	// writePaged applies the shared pagination + response envelope.
+	writePaged := func(answers []queryAnswer) {
+		answers, total := page(answers, limit, offset)
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"spec": specID, "answers": answers, "total": total, "offset": offset,
+		})
+	}
 	switch {
 	case execID == "":
 		if p.Get("zoom") != "" {
@@ -236,7 +300,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 		for _, a := range answers {
 			out = append(out, toWireAnswer(a))
 		}
-		s.writeJSON(w, http.StatusOK, map[string]any{"spec": specID, "answers": out})
+		writePaged(out)
 	case p.Get("zoom") != "":
 		res, err := s.repo.QueryZoomOut(user, specID, execID, q)
 		if err != nil {
@@ -245,14 +309,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 		}
 		a := toWireAnswer(res.Answer)
 		a.ZoomSteps = res.Steps
-		s.writeJSON(w, http.StatusOK, map[string]any{"spec": specID, "answers": []queryAnswer{a}})
+		writePaged([]queryAnswer{a})
 	default:
 		a, err := s.repo.Query(user, specID, execID, q)
 		if err != nil {
 			s.fail(w, r, err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, map[string]any{"spec": specID, "answers": []queryAnswer{toWireAnswer(a)}})
+		writePaged([]queryAnswer{toWireAnswer(a)})
 	}
 }
 
@@ -295,24 +359,76 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request, user s
 
 // statsBody is the /stats response.
 type statsBody struct {
-	Specs       int `json:"specs"`
-	Executions  int `json:"executions"`
-	Users       int `json:"users"`
-	IndexTerms  int `json:"index_terms"`
-	Postings    int `json:"postings"`
-	CacheHits   int `json:"cache_hits"`
-	CacheMisses int `json:"cache_misses"`
+	Specs           int   `json:"specs"`
+	Executions      int   `json:"executions"`
+	Users           int   `json:"users"`
+	IndexTerms      int   `json:"index_terms"`
+	Postings        int   `json:"postings"`
+	IndexSegments   int   `json:"index_segments"`
+	IndexSwaps      int64 `json:"index_swaps"`
+	CacheHits       int   `json:"cache_hits"`
+	CacheMisses     int   `json:"cache_misses"`
+	ViewCacheHits   int64 `json:"view_cache_hits"`
+	ViewCacheMisses int64 `json:"view_cache_misses"`
+	CorpusLevels    int   `json:"corpus_levels"`
+	CorpusDeltas    int64 `json:"corpus_deltas"`
+	CorpusRebuilds  int64 `json:"corpus_rebuilds"`
+}
+
+func toStatsBody(st repo.Stats) statsBody {
+	return statsBody{
+		Specs:           st.Specs,
+		Executions:      st.Executions,
+		Users:           st.Users,
+		IndexTerms:      st.IndexTerms,
+		Postings:        st.Postings,
+		IndexSegments:   st.IndexSegments,
+		IndexSwaps:      st.IndexSwaps,
+		CacheHits:       st.CacheHits,
+		CacheMisses:     st.CacheMisses,
+		ViewCacheHits:   st.ViewCacheHits,
+		ViewCacheMisses: st.ViewCacheMisses,
+		CorpusLevels:    st.CorpusLevels,
+		CorpusDeltas:    st.CorpusDeltas,
+		CorpusRebuilds:  st.CorpusRebuilds,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, user string) {
+	s.writeJSON(w, http.StatusOK, toStatsBody(s.repo.Stats()))
+}
+
+// handleMetrics renders the same counters in the Prometheus text
+// exposition format, one gauge per stat, under the provpriv_ prefix.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.repo.Stats()
-	hits, misses := s.repo.CacheStats()
-	s.writeJSON(w, http.StatusOK, statsBody{
-		Specs:      st.Specs,
-		Executions: st.Executions,
-		Users:      st.Users,
-		IndexTerms: st.IndexTerms,
-		Postings:   st.Postings,
-		CacheHits:  hits, CacheMisses: misses,
-	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	metric := func(name, help string, v int64) {
+		// *_total counters are monotonic (the engine accumulates them
+		// across cache swaps and shard removals); the rest are gauges.
+		typ := "gauge"
+		if strings.HasSuffix(name, "_total") {
+			typ = "counter"
+		}
+		fmt.Fprintf(&b, "# HELP provpriv_%s %s\n# TYPE provpriv_%s %s\nprovpriv_%s %d\n",
+			name, help, name, typ, name, v)
+	}
+	metric("specs", "Registered workflow specifications.", int64(st.Specs))
+	metric("executions", "Stored executions.", int64(st.Executions))
+	metric("users", "Registered users.", int64(st.Users))
+	metric("index_terms", "Distinct terms in the inverted index.", int64(st.IndexTerms))
+	metric("index_postings", "Total postings in the inverted index.", int64(st.Postings))
+	metric("index_segments", "Per-spec segments in the inverted index.", int64(st.IndexSegments))
+	metric("index_snapshot_swaps_total", "Inverted-index snapshot publications (spec mutations).", st.IndexSwaps)
+	metric("result_cache_hits_total", "Search result cache hits.", int64(st.CacheHits))
+	metric("result_cache_misses_total", "Search result cache misses.", int64(st.CacheMisses))
+	metric("view_cache_hits_total", "Collapsed-view LRU hits across shards.", st.ViewCacheHits)
+	metric("view_cache_misses_total", "Collapsed-view LRU misses across shards.", st.ViewCacheMisses)
+	metric("corpus_levels", "Per-level ranking corpora currently built.", int64(st.CorpusLevels))
+	metric("corpus_deltas_total", "Incremental corpus document deltas applied.", st.CorpusDeltas)
+	metric("corpus_rebuilds_total", "From-scratch per-level corpus builds.", st.CorpusRebuilds)
+	if _, err := io.WriteString(w, b.String()); err != nil && s.Logger != nil {
+		s.Logger.Printf("write metrics: %v", err)
+	}
 }

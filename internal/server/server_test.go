@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"provpriv/internal/privacy"
 	"provpriv/internal/repo"
 	"provpriv/internal/workflow"
+	"provpriv/internal/workload"
 )
 
 // newTestServer builds the paper's disease-susceptibility repository
@@ -336,4 +338,169 @@ func TestParallelClients(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
+}
+
+// TestSearchPagination drives limit/offset through the search endpoint:
+// windows must tile the full result list and report the pre-pagination
+// total.
+func TestSearchPagination(t *testing.T) {
+	ts, r, _ := newTestServer(t)
+	// Register more searchable specs so there is something to paginate.
+	for i := 0; i < 4; i++ {
+		s, err := workload.RandomSpec(workload.SpecConfig{
+			Seed: int64(i), ID: fmt.Sprintf("p%d", i), Depth: 3, Fanout: 2, Chain: 4, SkipProb: 0.2,
+		})
+		if err != nil {
+			t.Fatalf("RandomSpec: %v", err)
+		}
+		if err := r.AddSpec(s, nil); err != nil {
+			t.Fatalf("AddSpec: %v", err)
+		}
+	}
+	var full struct {
+		Hits  []json.RawMessage `json:"hits"`
+		Total int               `json:"total"`
+	}
+	if code := get(t, ts, "alice", "/api/v1/search?q=query", &full); code != http.StatusOK {
+		t.Fatalf("full search: %d", code)
+	}
+	if full.Total != len(full.Hits) || full.Total < 2 {
+		t.Fatalf("need >=2 hits to paginate, total=%d hits=%d", full.Total, len(full.Hits))
+	}
+	var paged struct {
+		Hits   []json.RawMessage `json:"hits"`
+		Total  int               `json:"total"`
+		Offset int               `json:"offset"`
+	}
+	var seen []string
+	for off := 0; off < full.Total; off++ {
+		path := fmt.Sprintf("/api/v1/search?q=query&limit=1&offset=%d", off)
+		if code := get(t, ts, "alice", path, &paged); code != http.StatusOK {
+			t.Fatalf("paged search: %d", code)
+		}
+		if len(paged.Hits) != 1 || paged.Total != full.Total || paged.Offset != off {
+			t.Fatalf("page %d = %d hits, total %d, offset %d", off, len(paged.Hits), paged.Total, paged.Offset)
+		}
+		seen = append(seen, string(paged.Hits[0]))
+	}
+	for i, h := range seen {
+		if h != string(full.Hits[i]) {
+			t.Fatalf("page %d differs from full listing", i)
+		}
+	}
+	// Offset past the end: empty page, total intact.
+	if code := get(t, ts, "alice", fmt.Sprintf("/api/v1/search?q=query&offset=%d", full.Total+5), &paged); code != http.StatusOK {
+		t.Fatalf("past-end page: %d", code)
+	}
+	if len(paged.Hits) != 0 || paged.Total != full.Total {
+		t.Fatalf("past-end page = %d hits, total %d", len(paged.Hits), paged.Total)
+	}
+	// Bad parameters are 400s.
+	for _, bad := range []string{"limit=-1", "limit=x", "offset=-2"} {
+		if code := get(t, ts, "alice", "/api/v1/search?q=query&"+bad, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s accepted: %d", bad, code)
+		}
+	}
+}
+
+// TestQueryPagination paginates the all-executions query endpoint.
+func TestQueryPagination(t *testing.T) {
+	ts, r, _ := newTestServer(t)
+	s := r.Spec("disease-susceptibility")
+	for i := 2; i <= 4; i++ {
+		e, err := exec.NewRunner(s, nil).Run(fmt.Sprintf("E%d", i), map[string]exec.Value{
+			"snps": exec.Value(fmt.Sprintf("rs%d", i)), "ethnicity": "e", "lifestyle": "l",
+			"family_history": "f", "symptoms": "s",
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			t.Fatalf("AddExecution: %v", err)
+		}
+	}
+	q := "/api/v1/query?spec=disease-susceptibility&q=" + "MATCH+a+%3D+%22reformat%22"
+	var full struct {
+		Answers []struct {
+			Execution string `json:"execution"`
+		} `json:"answers"`
+		Total int `json:"total"`
+	}
+	if code := get(t, ts, "alice", q, &full); code != http.StatusOK {
+		t.Fatalf("query: %d", code)
+	}
+	if full.Total != 4 || len(full.Answers) != 4 {
+		t.Fatalf("expected 4 answers, got total=%d len=%d", full.Total, len(full.Answers))
+	}
+	var paged struct {
+		Answers []struct {
+			Execution string `json:"execution"`
+		} `json:"answers"`
+		Total int `json:"total"`
+	}
+	if code := get(t, ts, "alice", q+"&limit=2&offset=1", &paged); code != http.StatusOK {
+		t.Fatalf("paged query: %d", code)
+	}
+	if paged.Total != 4 || len(paged.Answers) != 2 {
+		t.Fatalf("paged = total %d, %d answers", paged.Total, len(paged.Answers))
+	}
+	if paged.Answers[0].Execution != full.Answers[1].Execution {
+		t.Fatalf("offset window wrong: %s vs %s", paged.Answers[0].Execution, full.Answers[1].Execution)
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics (unauthenticated) and checks the
+// Prometheus exposition carries the repository and derived-state
+// counters.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	// Generate some cache traffic so counters move.
+	for i := 0; i < 2; i++ {
+		if code := get(t, ts, "alice", "/api/v1/search?q=database", nil); code != http.StatusOK {
+			t.Fatalf("search: %d", code)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, metric := range []string{
+		"provpriv_specs 1",
+		"provpriv_index_segments 1",
+		"provpriv_result_cache_hits_total 1",
+		"provpriv_result_cache_misses_total 1",
+		"provpriv_index_postings",
+		"provpriv_corpus_deltas_total",
+		"provpriv_corpus_rebuilds_total",
+		"provpriv_view_cache_hits_total",
+		"provpriv_index_snapshot_swaps_total",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Fatalf("metrics missing %q:\n%s", metric, text)
+		}
+	}
+	// /stats carries the same counters as JSON.
+	var st struct {
+		IndexSegments  int   `json:"index_segments"`
+		CorpusLevels   int   `json:"corpus_levels"`
+		CorpusRebuilds int64 `json:"corpus_rebuilds"`
+	}
+	if code := get(t, ts, "alice", "/api/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.IndexSegments != 1 || st.CorpusLevels == 0 || st.CorpusRebuilds == 0 {
+		t.Fatalf("stats counters: %+v", st)
+	}
 }
