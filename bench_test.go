@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"provpriv/internal/datapriv"
 	"provpriv/internal/dp"
 	"provpriv/internal/exec"
 	"provpriv/internal/graph"
@@ -927,4 +929,67 @@ func BenchmarkSearchMutateParallel(b *testing.B) {
 	}
 	b.Run("read-only", func(b *testing.B) { run(b, false) })
 	b.Run("with-writer", func(b *testing.B) { run(b, true) })
+}
+
+// ---------------------------------------------------------------------------
+// B13 — Taint-aware masking overhead: the cost of converting the paper's
+// per-attribute guarantee into an end-to-end one (internal/taint).
+// Scales execution size; compares attribute-local masking (taint=off,
+// the pre-PR 3 behavior), full analyze+apply (taint=on), and apply with
+// a cached taint set (taint=cached, the repository's serving path).
+
+// firstInputAttr picks the lexicographically first input attribute —
+// deterministic, unlike map iteration, so consecutive CI bench runs
+// protect the same attribute and measure the same work.
+func firstInputAttr(inputs map[string]exec.Value) string {
+	attrs := make([]string, 0, len(inputs))
+	for a := range inputs {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return attrs[0]
+}
+
+func BenchmarkTaintMask(b *testing.B) {
+	for _, sz := range []struct {
+		name string
+		cfg  workload.SpecConfig
+	}{
+		{"small", workload.SpecConfig{Seed: 13, ID: "taint-s", Depth: 2, Fanout: 2, Chain: 4}},
+		{"medium", workload.SpecConfig{Seed: 13, ID: "taint-m", Depth: 3, Fanout: 2, Chain: 5}},
+		{"large", workload.SpecConfig{Seed: 13, ID: "taint-l", Depth: 3, Fanout: 3, Chain: 6}},
+	} {
+		s, err := workload.RandomSpec(sz.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol, err := workload.RandomPolicy(s, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs := workload.RandomInputs(s, 13)
+		pol.DataLevels[firstInputAttr(inputs)] = privacy.Owner // guarantee taint flows
+		e, err := exec.NewRunner(s, nil).Run("E", inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		en := datapriv.NewMasker(pol, nil).Engine()
+		set := en.Analyze(e)
+		items := float64(len(e.Items))
+		for _, mode := range []struct {
+			name string
+			run  func()
+		}{
+			{"taint=off", func() { en.Apply(e, privacy.Public, nil) }},
+			{"taint=on", func() { en.Sanitize(e, privacy.Public) }},
+			{"taint=cached", func() { en.Apply(e, privacy.Public, set) }},
+		} {
+			b.Run(fmt.Sprintf("%s/items=%d/%s", sz.name, len(e.Items), mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mode.run()
+				}
+				b.ReportMetric(items*float64(b.N)/b.Elapsed().Seconds(), "items/s")
+			})
+		}
+	}
 }

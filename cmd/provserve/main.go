@@ -64,6 +64,8 @@ func main() {
 	data := flag.String("data", "", "repository directory from provgen or repo.Save")
 	example := flag.Bool("example", false, "serve the built-in paper example instead of -data")
 	workers := flag.Int("workers", 0, "fan-out pool size (0 = GOMAXPROCS)")
+	allowTaintOff := flag.Bool("allow-taint-off", false,
+		"honor the provenance taint=off debug parameter (reopens the embedded-trace-value leak; never enable on a shared deployment)")
 	var users userFlags
 	flag.Var(&users, "user", "register a user as NAME=LEVEL (repeatable)")
 	flag.Parse()
@@ -100,6 +102,7 @@ func main() {
 
 	srv := server.New(r)
 	srv.Logger = log.Default()
+	srv.AllowDisableTaint = *allowTaintOff
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

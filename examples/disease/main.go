@@ -41,6 +41,7 @@ func main() {
 	}
 	r.AddUser(provpriv.User{Name: "patient", Level: provpriv.Owner, Group: "owners"})
 	r.AddUser(provpriv.User{Name: "student", Level: provpriv.Registered, Group: "students"})
+	r.AddUser(provpriv.User{Name: "visitor", Level: provpriv.Public, Group: "public"})
 
 	fmt.Println("== execution (Fig. 4) ==")
 	fmt.Print(e.ASCII())
@@ -83,6 +84,25 @@ func main() {
 	}
 	fmt.Printf("student's answer: %d bindings (zoomedOut=%v) — W4 detail is hidden\n",
 		len(ansStudent.Bindings), ansStudent.ZoomedOut)
+
+	fmt.Println("\n== taint-aware masking (internal/taint) ==")
+	// Item values are symbolic computation traces that embed module
+	// inputs verbatim, so the owner-only snps value used to survive
+	// inside the public provenance of prognosis. Taint propagation
+	// rewrites each embedded protected ancestor value to a mask token
+	// (or its generalized form) before the trace is served.
+	var prognosis string
+	for _, id := range e.ItemIDs() {
+		if e.Items[id].Attr == "prognosis" {
+			prognosis = id
+		}
+	}
+	prov, err := r.Provenance("visitor", spec.ID, "E1", prognosis)
+	if err != nil {
+		log.Fatalf("visitor provenance: %v", err)
+	}
+	fmt.Printf("raw prognosis trace (patient):\n  %s\n", e.Items[prognosis].Value)
+	fmt.Printf("taint-masked trace (visitor):\n  %s\n", prov.Items[prognosis].Value)
 
 	fmt.Println("\n== downstream impact ('what might be affected?') ==")
 	var snpSet string

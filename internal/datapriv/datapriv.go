@@ -11,16 +11,24 @@
 //     generalization hierarchy, with the depth of coarsening growing
 //     with the gap between the user's level and the required level.
 //
+// Masking is taint-aware: because execution item values are symbolic
+// computation traces, a protected *input* value survives verbatim
+// inside derived items' value strings. The Masker therefore delegates
+// to internal/taint, which propagates protection along provenance
+// edges and rewrites (or redacts) tainted embedded values, so the
+// paper's guarantee — a user below an attribute's required level never
+// learns the protected value — holds end-to-end, not just per item.
+//
 // Masking is monotone in access level: a higher level always sees at
 // least as much as a lower one (property-tested in DESIGN.md §5).
 package datapriv
 
 import (
-	"fmt"
 	"sort"
 
 	"provpriv/internal/exec"
 	"provpriv/internal/privacy"
+	"provpriv/internal/taint"
 )
 
 // Hierarchy is a per-attribute generalization ladder. Level 0 is the
@@ -72,64 +80,52 @@ func NewMasker(p *privacy.Policy, hierarchies map[string]*Hierarchy) *Masker {
 }
 
 // Report accounts for what a masking pass did — the utility side of the
-// privacy/utility trade-off.
-type Report struct {
-	Visible     int // items shown unmodified
-	Generalized int // items coarsened via a hierarchy
-	Redacted    int // items fully masked
-}
+// privacy/utility trade-off. It is the taint engine's report: masking
+// and taint sanitization are one pass.
+type Report = taint.Report
 
-// Total returns the number of items processed.
-func (r Report) Total() int { return r.Visible + r.Generalized + r.Redacted }
-
-// UtilityScore is the fraction of items fully visible plus half credit
-// for generalized ones.
-func (r Report) UtilityScore() float64 {
-	t := r.Total()
-	if t == 0 {
-		return 1
-	}
-	return (float64(r.Visible) + 0.5*float64(r.Generalized)) / float64(t)
-}
-
-// Mask returns a copy of the execution as seen by a user at the given
-// level, plus a report. For each data item whose attribute requires a
-// higher level: if a hierarchy exists for the attribute, the value is
-// generalized by (required − level) steps (clamped); otherwise it is
-// redacted outright.
-func (m *Masker) Mask(e *exec.Execution, level privacy.Level) (*exec.Execution, Report) {
-	var rep Report
-	out := &exec.Execution{
-		ID:     fmt.Sprintf("%s/masked@%s", e.ID, level),
-		SpecID: e.SpecID,
-		Items:  make(map[string]*exec.DataItem, len(e.Items)),
-	}
-	for _, n := range e.Nodes {
-		cp := *n
-		out.Nodes = append(out.Nodes, &cp)
-	}
-	out.Edges = append(out.Edges, e.Edges...)
-	for id, it := range e.Items {
-		cp := *it
-		required := m.Policy.DataLevels[it.Attr]
-		switch {
-		case level >= required:
-			rep.Visible++
-		default:
-			h := m.Hierarchies[it.Attr]
-			if h != nil && h.MaxDepth() > 0 {
-				depth := int(required - level)
-				cp.Value = h.Generalize(it.Value, depth)
-				rep.Generalized++
-			} else {
-				cp.Value = ""
-				cp.Redacted = true
-				rep.Redacted++
+// Engine returns the taint engine implementing this masker's policy:
+// the same policy and generalization ladders, with nil hierarchies
+// filtered out. Callers that cache taint sets (internal/repo) analyze
+// and apply through it directly.
+func (m *Masker) Engine() *taint.Engine {
+	var gens map[string]taint.Generalizer
+	if len(m.Hierarchies) > 0 {
+		gens = make(map[string]taint.Generalizer, len(m.Hierarchies))
+		for a, h := range m.Hierarchies {
+			if h != nil {
+				gens[a] = h
 			}
 		}
-		out.Items[id] = &cp
 	}
-	return out, rep
+	return taint.NewEngine(m.Policy, gens)
+}
+
+// Mask returns a deep copy of the execution as seen by a user at the
+// given level, plus a report. For each data item whose attribute
+// requires a higher level: if a hierarchy exists for the attribute, the
+// value is generalized by (required − level) steps (clamped); otherwise
+// it is redacted outright. Values derived from protected items are
+// taint-sanitized: embedded occurrences of a protected ancestor's raw
+// value are rewritten to their generalized form or redacted (see
+// internal/taint).
+//
+// Mask analyzes e itself, which is correct when e is the full
+// execution. To mask a collapsed view, use MaskView with the full
+// execution the view came from — a protected item internal to a
+// collapsed composite is absent from the view but still tainted its
+// descendants.
+func (m *Masker) Mask(e *exec.Execution, level privacy.Level) (*exec.Execution, Report) {
+	return m.Engine().Sanitize(e, level)
+}
+
+// MaskView masks a derived view (e.g. an exec.Collapse result) of the
+// full execution it was computed from: taint is analyzed on full —
+// where every protected ancestor is still present — and applied to
+// view. Item ids are stable under collapse, so the analysis transfers.
+func (m *Masker) MaskView(full, view *exec.Execution, level privacy.Level) (*exec.Execution, Report) {
+	en := m.Engine()
+	return en.Apply(view, level, en.Analyze(full))
 }
 
 // VisibleAttrs returns, for diagnostics, the attributes fully visible at

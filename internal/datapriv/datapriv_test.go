@@ -1,6 +1,7 @@
 package datapriv
 
 import (
+	"strings"
 	"testing"
 
 	"provpriv/internal/exec"
@@ -172,5 +173,74 @@ func TestVisibleAttrs(t *testing.T) {
 	got := m.VisibleAttrs([]string{"snps", "disorders"}, privacy.Public)
 	if len(got) != 1 || got[0] != "disorders" {
 		t.Fatalf("VisibleAttrs = %v", got)
+	}
+}
+
+// The satellite aliasing fix: Mask used to share the Edges backing
+// array and shallow-copy Nodes, so sanitizing a masked view could
+// corrupt the shard's canonical execution. Mask must return a deep
+// copy.
+func TestMaskDeepCopyNoAliasing(t *testing.T) {
+	orig, masked, _ := maskedDisease(t, privacy.Public, false)
+	wantEdge := orig.Edges[0]
+	wantItems := append([]string(nil), wantEdge.Items...)
+	for i := range masked.Edges {
+		masked.Edges[i].From = "vandal"
+		for j := range masked.Edges[i].Items {
+			masked.Edges[i].Items[j] = "vandal"
+		}
+	}
+	for _, n := range masked.Nodes {
+		n.ID = "vandal"
+		for i := range n.Frames {
+			n.Frames[i].Proc = "vandal"
+		}
+	}
+	for _, it := range masked.Items {
+		it.Value = "vandal"
+	}
+	if orig.Edges[0].From != wantEdge.From {
+		t.Fatal("Edges backing array shared with the original")
+	}
+	for i, id := range orig.Edges[0].Items {
+		if id != wantItems[i] {
+			t.Fatal("edge item slice shared with the original")
+		}
+	}
+	for _, n := range orig.Nodes {
+		if n.ID == "vandal" {
+			t.Fatal("node pointers shared with the original")
+		}
+		for _, f := range n.Frames {
+			if f.Proc == "vandal" {
+				t.Fatal("frame slice shared with the original")
+			}
+		}
+	}
+	for id, it := range orig.Items {
+		if it.Value == "vandal" {
+			t.Fatalf("item %s shared with the original", id)
+		}
+	}
+}
+
+// Mask is taint-aware: the raw value of a protected input must not
+// survive inside derived trace strings (the internal/taint regression
+// seen end-to-end on public provenance of prognosis).
+func TestMaskRewritesEmbeddedProtectedValues(t *testing.T) {
+	orig, masked, rep := maskedDisease(t, privacy.Public, false)
+	for id, it := range masked.Items {
+		if it.Attr == "snps" {
+			continue // the item itself is redacted; checked elsewhere
+		}
+		if strings.Contains(string(it.Value), "rs1") {
+			t.Errorf("item %s embeds raw snps value: %q", id, it.Value)
+		}
+	}
+	if rep.Rewritten == 0 {
+		t.Fatalf("expected rewritten derived traces, report = %+v", rep)
+	}
+	if rep.Total() != len(orig.Items) {
+		t.Fatalf("report total %d != %d items", rep.Total(), len(orig.Items))
 	}
 }

@@ -185,6 +185,19 @@ func (e *Execution) ItemsByAttr(attr string) []*DataItem {
 	return out
 }
 
+// ItemsByProducer groups the execution's data items by producing node,
+// each group in item-id order. Taint propagation uses it to map the
+// reachable-node set of a protected source onto the items it may leak
+// into.
+func (e *Execution) ItemsByProducer() map[string][]*DataItem {
+	out := make(map[string][]*DataItem, len(e.Nodes))
+	for _, id := range e.ItemIDs() {
+		it := e.Items[id]
+		out[it.Producer] = append(out[it.Producer], it)
+	}
+	return out
+}
+
 // ProducerOf returns the node that produced item id, or nil.
 func (e *Execution) ProducerOf(itemID string) *Node {
 	it := e.Items[itemID]

@@ -77,6 +77,19 @@ func (b *Bitset) Elems() []int {
 	return out
 }
 
+// ForEach calls fn for every element of the set in increasing order,
+// without allocating (the iteration form of Elems for hot paths like
+// taint propagation over closure rows).
+func (b *Bitset) ForEach(fn func(int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(wi*64 + tz)
+			w &= w - 1
+		}
+	}
+}
+
 // Equal reports whether b and o contain the same elements.
 func (b *Bitset) Equal(o *Bitset) bool {
 	if b.n != o.n {

@@ -21,12 +21,21 @@ import (
 // BenchmarkMaterializedViews.
 type ViewStore struct {
 	mu    sync.RWMutex
-	views map[viewKey]*exec.Execution
+	views map[viewKey]storedView
 	specs map[string]*workflow.Spec
 	pols  map[string]*privacy.Policy
 	hiers map[string]*workflow.Hierarchy
 	// levels materialized per spec, sorted.
 	levels map[string][]privacy.Level
+}
+
+// storedView keeps the masking report next to each materialized view so
+// reads served from the store still feed the taint counters — without
+// it, the fast path would flatline taint_items_*_total while rewrites
+// happen at materialization time.
+type storedView struct {
+	view *exec.Execution
+	rep  datapriv.Report
 }
 
 type viewKey struct {
@@ -38,7 +47,7 @@ type viewKey struct {
 // NewViewStore creates an empty store.
 func NewViewStore() *ViewStore {
 	return &ViewStore{
-		views:  make(map[viewKey]*exec.Execution),
+		views:  make(map[viewKey]storedView),
 		specs:  make(map[string]*workflow.Spec),
 		pols:   make(map[string]*privacy.Policy),
 		hiers:  make(map[string]*workflow.Hierarchy),
@@ -78,16 +87,21 @@ func (vs *ViewStore) Materialize(e *exec.Execution) error {
 	if s == nil {
 		return fmt.Errorf("index: viewstore: unknown spec %q", e.SpecID)
 	}
-	masker := datapriv.NewMasker(pol, nil)
+	// One taint analysis of the full execution serves every level's
+	// view: protected items hidden by a collapse are absent from the
+	// view but still taint descendants, so analyzing the collapsed view
+	// would miss them.
+	engine := datapriv.NewMasker(pol, nil).Engine()
+	taints := engine.Analyze(e)
 	for _, lvl := range levels {
 		prefix := pol.AccessView(h, lvl)
 		collapsed, err := exec.Collapse(e, s, prefix)
 		if err != nil {
 			return err
 		}
-		masked, _ := masker.Mask(collapsed, lvl)
+		masked, rep := engine.Apply(collapsed, lvl, taints)
 		vs.mu.Lock()
-		vs.views[viewKey{specID: e.SpecID, execID: e.ID, level: lvl}] = masked
+		vs.views[viewKey{specID: e.SpecID, execID: e.ID, level: lvl}] = storedView{view: masked, rep: rep}
 		vs.mu.Unlock()
 	}
 	return nil
@@ -96,9 +110,18 @@ func (vs *ViewStore) Materialize(e *exec.Execution) error {
 // Get returns the materialized view of an execution at the given level
 // (exact match), or nil when not materialized.
 func (vs *ViewStore) Get(specID, execID string, level privacy.Level) *exec.Execution {
+	v, _ := vs.GetWithReport(specID, execID, level)
+	return v
+}
+
+// GetWithReport is Get plus the masking report recorded when the view
+// was materialized, so serving paths can keep the taint counters moving
+// even when they skip live masking.
+func (vs *ViewStore) GetWithReport(specID, execID string, level privacy.Level) (*exec.Execution, datapriv.Report) {
 	vs.mu.RLock()
 	defer vs.mu.RUnlock()
-	return vs.views[viewKey{specID: specID, execID: execID, level: level}]
+	sv := vs.views[viewKey{specID: specID, execID: execID, level: level}]
+	return sv.view, sv.rep
 }
 
 // GetAtOrBelow returns the view at the highest materialized level not
@@ -110,8 +133,8 @@ func (vs *ViewStore) GetAtOrBelow(specID, execID string, level privacy.Level) (*
 	levels := vs.levels[specID]
 	for i := len(levels) - 1; i >= 0; i-- {
 		if levels[i] <= level {
-			if v := vs.views[viewKey{specID: specID, execID: execID, level: levels[i]}]; v != nil {
-				return v, levels[i]
+			if sv := vs.views[viewKey{specID: specID, execID: execID, level: levels[i]}]; sv.view != nil {
+				return sv.view, levels[i]
 			}
 		}
 	}
@@ -123,9 +146,9 @@ func (vs *ViewStore) GetAtOrBelow(specID, execID string, level privacy.Level) (*
 func (vs *ViewStore) Size() (views, nodes int) {
 	vs.mu.RLock()
 	defer vs.mu.RUnlock()
-	for _, v := range vs.views {
+	for _, sv := range vs.views {
 		views++
-		nodes += len(v.Nodes)
+		nodes += len(sv.view.Nodes)
 	}
 	return
 }

@@ -167,10 +167,23 @@ func (ev *Evaluator) EvaluateWithPrivacy(q *Query, e *exec.Execution, pol *priva
 	if err != nil {
 		return nil, err
 	}
+	// Taint is analyzed on the full execution (protected items inside
+	// collapsed composites are gone from the view but still taint their
+	// descendants' trace strings), then applied to the view.
 	masker := datapriv.NewMasker(pol, nil)
-	masked, _ := masker.Mask(collapsed, level)
+	masked, _ := masker.MaskView(e, collapsed, level)
 	zoomed := len(prefix) < len(h.All())
 	return ev.evaluate(q, masked, pol, level, zoomed)
+}
+
+// EvaluatePrepared runs the query against an execution view that the
+// caller has already collapsed to the user's access view and
+// taint-masked for the user's level (internal/repo does this through
+// its per-shard caches, so the collapse and taint analysis are paid
+// once per execution, not per query). zoomedOut flags whether the view
+// is coarser than the full expansion.
+func (ev *Evaluator) EvaluatePrepared(q *Query, masked *exec.Execution, pol *privacy.Policy, level privacy.Level, zoomedOut bool) (*Answer, error) {
+	return ev.evaluate(q, masked, pol, level, zoomedOut)
 }
 
 func (ev *Evaluator) evaluate(q *Query, e *exec.Execution, pol *privacy.Policy, level privacy.Level, zoomed bool) (*Answer, error) {

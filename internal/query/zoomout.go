@@ -37,7 +37,11 @@ func (ev *Evaluator) ZoomOut(q *Query, e *exec.Execution, pol *privacy.Policy, l
 	}
 	access := pol.AccessView(h, level)
 	prefix := workflow.FullPrefix(h)
-	masker := datapriv.NewMasker(pol, nil)
+	// One taint analysis of the full execution serves every zoom step:
+	// item ids are stable under Collapse, so the set applies to each
+	// successively coarser view.
+	engine := datapriv.NewMasker(pol, nil).Engine()
+	taints := engine.Analyze(e)
 
 	steps := 0
 	for {
@@ -45,7 +49,7 @@ func (ev *Evaluator) ZoomOut(q *Query, e *exec.Execution, pol *privacy.Policy, l
 		if err != nil {
 			return nil, err
 		}
-		masked, _ := masker.Mask(view, level)
+		masked, _ := engine.Apply(view, level, taints)
 		ans, err := ev.evaluate(q, masked, pol, level, steps > 0)
 		if err != nil {
 			return nil, err

@@ -55,6 +55,7 @@ import (
 	"provpriv/internal/query"
 	"provpriv/internal/rank"
 	"provpriv/internal/search"
+	"provpriv/internal/taint"
 	"provpriv/internal/workflow"
 )
 
@@ -99,6 +100,15 @@ type shard struct {
 	// runs once per view.
 	views *index.LRU[viewCacheKey, *exec.Execution]
 
+	// taints caches per-execution taint sets (seed + propagate over the
+	// full execution, see internal/taint) keyed by (execID, polGen):
+	// the set is level- and view-independent, so one analysis serves
+	// every access level and every collapsed view of the execution.
+	// polGen keys it exactly like the view cache, so sets computed under
+	// a replaced policy are unreachable. Reads are lock-free apart from
+	// the LRU's own mutex; fills go through the flight group.
+	taints *index.LRU[taintCacheKey, *taint.Set]
+
 	// polGen counts policy generations (bumped by UpdatePolicy);
 	// guarded by mu. It keys the collapsed-view cache so views built
 	// under a replaced policy are unreachable.
@@ -118,6 +128,14 @@ type viewCacheKey struct {
 	// polGen is the shard's policy generation the view was collapsed
 	// under: a fill raced by UpdatePolicy lands under the old
 	// generation, where no post-update reader can hit it.
+	polGen uint64
+}
+
+// taintCacheKey keys the per-shard taint-set cache. No level component:
+// taint sets are level-independent (labels carry their required level
+// and are filtered at apply time).
+type taintCacheKey struct {
+	execID string
 	polGen uint64
 }
 
@@ -164,11 +182,21 @@ type Repository struct {
 	// cacheHitsBase/cacheMissesBase accumulate the counters of retired
 	// result caches (resetResultCache swaps the cache object), and
 	// viewHitsBase/viewMissesBase those of removed shards' view caches,
-	// keeping the *_total metrics monotonic.
+	// keeping the *_total metrics monotonic. taintHitsBase/
+	// taintMissesBase do the same for removed shards' taint-set caches.
 	cacheHitsBase   atomic.Int64
 	cacheMissesBase atomic.Int64
 	viewHitsBase    atomic.Int64
 	viewMissesBase  atomic.Int64
+	taintHitsBase   atomic.Int64
+	taintMissesBase atomic.Int64
+
+	// taintRewritten/taintRedacted count items the taint engine
+	// rewrote / fully redacted across all read-path masking (provenance
+	// and structural-query responses) — the new-subsystem health
+	// counters exported as taint_items_*_total.
+	taintRewritten atomic.Int64
+	taintRedacted  atomic.Int64
 
 	// saveMu guards the incremental-save bookkeeping: the directory of
 	// the previous Save and the per-shard mutation seq it captured.
@@ -386,6 +414,7 @@ func (r *Repository) newShard(s *workflow.Spec, pol *privacy.Policy) (*shard, *p
 		policy: pol,
 		execs:  make(map[string]*exec.Execution),
 		views:  index.NewLRU[viewCacheKey, *exec.Execution](viewCacheCap, viewCacheTTL),
+		taints: index.NewLRU[taintCacheKey, *taint.Set](viewCacheCap, viewCacheTTL),
 		seq:    r.mutSeq.Add(1),
 	}, pol, nil
 }
@@ -620,6 +649,11 @@ func (r *Repository) RemoveSpec(specID string) error {
 		r.viewHitsBase.Add(h)
 		r.viewMissesBase.Add(m)
 	}
+	if sh.taints != nil {
+		h, m := sh.taints.Stats()
+		r.taintHitsBase.Add(h)
+		r.taintMissesBase.Add(m)
+	}
 	delete(r.shards, specID)
 	r.mu.Unlock()
 	// Index swaps and corpus deltas run outside the directory lock so
@@ -712,8 +746,9 @@ func (r *Repository) UpdatePolicy(specID string, pol *privacy.Policy) error {
 		sh.viewStore = vs
 	}
 	sh.policy = pol
-	sh.polGen++      // old-generation cache entries become unreachable
-	sh.views.Purge() // and are dropped eagerly to free memory
+	sh.polGen++       // old-generation cache entries become unreachable
+	sh.views.Purge()  // and are dropped eagerly to free memory
+	sh.taints.Purge() // taint sets seeded under the old policy likewise
 	sh.seq = r.mutSeq.Add(1)
 	sh.mu.Unlock()
 	r.invalidateDerived()
@@ -973,8 +1008,33 @@ func (r *Repository) queryContext(userName, specID, execID string) (*privacy.Use
 	return u, sh, e, nil
 }
 
+// evaluateQuery runs one parsed structural query against one execution
+// under the user's privacy constraints, going through the shard's
+// caches: the collapsed view and the full-execution taint set are each
+// built once per (execution, level) / execution and reused, so repeated
+// queries pay only the (cheap) masking apply.
+func (r *Repository) evaluateQuery(sh *shard, e *exec.Execution, q *query.Query, level privacy.Level) (*query.Answer, error) {
+	sh.mu.RLock()
+	pol := sh.policy
+	hierarchies := sh.hierarchies
+	polGen := sh.polGen
+	sh.mu.RUnlock()
+	access := pol.AccessView(sh.hier, level)
+	view, err := r.collapsedView(sh, e, level, access, polGen)
+	if err != nil {
+		return nil, err
+	}
+	set := r.taintSetFor(sh, e, pol, polGen)
+	masked, rep := datapriv.NewMasker(pol, hierarchies).Engine().Apply(view, level, set)
+	r.countTaint(rep)
+	zoomed := len(access) < len(sh.hier.All())
+	ev := query.NewEvaluator(sh.spec)
+	return ev.EvaluatePrepared(q, masked, pol, level, zoomed)
+}
+
 // Query evaluates a structural query (see query.Parse) against one
-// execution under the user's privacy constraints.
+// execution under the user's privacy constraints, with taint-aware
+// masking of the answer's values and provenance subgraphs.
 func (r *Repository) Query(userName, specID, execID, queryText string) (*query.Answer, error) {
 	q, err := query.Parse(queryText)
 	if err != nil {
@@ -984,8 +1044,7 @@ func (r *Repository) Query(userName, specID, execID, queryText string) (*query.A
 	if err != nil {
 		return nil, err
 	}
-	ev := query.NewEvaluator(sh.spec)
-	return ev.EvaluateWithPrivacy(q, e, sh.policySnapshot(), u.Level)
+	return r.evaluateQuery(sh, e, q, u.Level)
 }
 
 // Reaches answers the paper's core structural-privacy question — "does
@@ -1151,14 +1210,16 @@ func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answ
 	for _, id := range ids {
 		execs = append(execs, sh.execs[id])
 	}
-	pol := sh.policy // one snapshot: every execution answers under the same policy
 	sh.mu.RUnlock()
 
 	answers := make([]*query.Answer, len(execs))
 	errs := make([]error, len(execs))
 	r.fanOut(len(execs), func(i int) {
-		ev := query.NewEvaluator(sh.spec)
-		answers[i], errs[i] = ev.EvaluateWithPrivacy(q, execs[i], pol, u.Level)
+		// evaluateQuery snapshots the policy per execution; every answer
+		// of one call may still interleave with a racing UpdatePolicy,
+		// but each individual answer is internally consistent (view,
+		// taint set and mask all come from one policy generation).
+		answers[i], errs[i] = r.evaluateQuery(sh, execs[i], q, u.Level)
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
@@ -1197,12 +1258,59 @@ func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.L
 	return got.(*exec.Execution), nil
 }
 
+// taintSetFor returns the cached taint analysis of an execution under
+// the given policy generation, computing and caching it on miss. Fills
+// are deduplicated through the flight group; the polGen key makes sets
+// seeded under a replaced policy unreachable (see taintCacheKey).
+func (r *Repository) taintSetFor(sh *shard, e *exec.Execution, pol *privacy.Policy, polGen uint64) *taint.Set {
+	key := taintCacheKey{execID: e.ID, polGen: polGen}
+	if s, ok := sh.taints.Get(key); ok {
+		return s
+	}
+	got, _ := r.flights.Do(fmt.Sprintf("taint|%s|%s|%d", sh.spec.ID, e.ID, polGen), func() (any, error) {
+		if s, ok := sh.taints.Peek(key); ok {
+			return s, nil
+		}
+		s := taint.NewEngine(pol, nil).Analyze(e)
+		sh.taints.Put(key, s)
+		return s, nil
+	})
+	return got.(*taint.Set)
+}
+
+// countTaint feeds a masking report into the repository's taint
+// counters (taint_items_rewritten_total / taint_items_redacted_total).
+func (r *Repository) countTaint(rep datapriv.Report) {
+	if rep.Rewritten > 0 {
+		r.taintRewritten.Add(int64(rep.Rewritten))
+	}
+	if rep.TaintRedacted > 0 {
+		r.taintRedacted.Add(int64(rep.TaintRedacted))
+	}
+}
+
+// ProvenanceOptions tunes provenance retrieval.
+type ProvenanceOptions struct {
+	// DisableTaint reverts to attribute-local masking (the pre-taint
+	// behavior): protected items themselves are masked, but raw values
+	// embedded in derived trace strings are served verbatim. This is a
+	// debugging / benchmarking escape hatch, not a privacy mode — the
+	// server only honors it via an explicit taint=off parameter.
+	DisableTaint bool
+}
+
 // Provenance returns the provenance of a data item as the user may see
 // it: the execution is collapsed to the user's access view, values are
-// masked per the data policy, and the provenance subgraph is extracted
-// from that view. An item hidden by the view is reported as not
-// visible.
+// masked per the data policy with taint propagation (a protected
+// ancestor's raw value embedded in a derived trace is rewritten or
+// redacted), and the provenance subgraph is extracted from that view.
+// An item hidden by the view is reported as not visible.
 func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.Execution, error) {
+	return r.ProvenanceWith(userName, specID, execID, itemID, ProvenanceOptions{})
+}
+
+// ProvenanceWith is Provenance with options.
+func (r *Repository) ProvenanceWith(userName, specID, execID, itemID string, opts ProvenanceOptions) (*exec.Execution, error) {
 	u, sh, e, err := r.queryContext(userName, specID, execID)
 	if err != nil {
 		return nil, err
@@ -1213,14 +1321,20 @@ func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.
 	hierarchies := sh.hierarchies
 	polGen := sh.polGen
 	sh.mu.RUnlock()
-	// Fast path: a materialized view at exactly this level. Disabled
-	// when the spec has generalization hierarchies, which the view store
-	// does not apply (it redacts) — correctness over speed.
-	if vs != nil && hierarchies == nil {
-		if v := vs.Get(specID, execID, u.Level); v != nil {
+	// Fast path: a materialized view at exactly this level (already
+	// taint-masked by the view store). Disabled when the spec has
+	// generalization hierarchies, which the view store does not apply
+	// (it redacts) — correctness over speed — and when the caller asked
+	// for the untainted debug view.
+	if vs != nil && hierarchies == nil && !opts.DisableTaint {
+		if v, rep := vs.GetWithReport(specID, execID, u.Level); v != nil {
 			if v.Items[itemID] == nil {
 				return nil, fmt.Errorf("repo: item %s not visible at level %s: %w", itemID, u.Level, ErrDenied)
 			}
+			// The view was taint-masked at materialization time; replay
+			// its report so the serving counters don't flatline on the
+			// fast path.
+			r.countTaint(rep)
 			return exec.Provenance(v, itemID)
 		}
 	}
@@ -1232,7 +1346,15 @@ func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.
 	if view.Items[itemID] == nil {
 		return nil, fmt.Errorf("repo: item %s not visible at level %s: %w", itemID, u.Level, ErrDenied)
 	}
-	masked, _ := datapriv.NewMasker(pol, hierarchies).Mask(view, u.Level)
+	// Apply the cached full-execution taint set to the collapsed view;
+	// a nil set degrades the engine to attribute-local masking (the
+	// DisableTaint escape hatch).
+	var set *taint.Set
+	if !opts.DisableTaint {
+		set = r.taintSetFor(sh, e, pol, polGen)
+	}
+	masked, rep := datapriv.NewMasker(pol, hierarchies).Engine().Apply(view, u.Level, set)
+	r.countTaint(rep)
 	return exec.Provenance(masked, itemID)
 }
 
@@ -1266,6 +1388,23 @@ type Stats struct {
 	CorpusLevels   int
 	CorpusDeltas   int64
 	CorpusRebuilds int64
+
+	// TaintRewritten/TaintRedacted count items the taint engine
+	// rewrote / redacted on read paths; TaintCacheHits/TaintCacheMisses
+	// aggregate the per-shard taint-set LRUs (monotonic across shard
+	// removal via the base counters). TaintCache breaks the cache
+	// counters out per live shard.
+	TaintRewritten   int64
+	TaintRedacted    int64
+	TaintCacheHits   int64
+	TaintCacheMisses int64
+	TaintCache       map[string]TaintCacheStat
+}
+
+// TaintCacheStat is one shard's taint-set cache counters.
+type TaintCacheStat struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 }
 
 // ContentStats is the persisted-content subset of Stats — the part a
@@ -1302,15 +1441,24 @@ func (r *Repository) Stats() Stats {
 	// otherwise a shard could be counted both live and banked, making
 	// the exported counters non-monotonic.
 	r.mu.RLock()
-	for _, sh := range r.shards {
+	st.TaintCache = make(map[string]TaintCacheStat, len(r.shards))
+	for id, sh := range r.shards {
 		if sh.views != nil {
 			h, m := sh.views.Stats()
 			st.ViewCacheHits += h
 			st.ViewCacheMisses += m
 		}
+		if sh.taints != nil {
+			h, m := sh.taints.Stats()
+			st.TaintCacheHits += h
+			st.TaintCacheMisses += m
+			st.TaintCache[id] = TaintCacheStat{Hits: h, Misses: m}
+		}
 	}
 	st.ViewCacheHits += r.viewHitsBase.Load()
 	st.ViewCacheMisses += r.viewMissesBase.Load()
+	st.TaintCacheHits += r.taintHitsBase.Load()
+	st.TaintCacheMisses += r.taintMissesBase.Load()
 	r.mu.RUnlock()
 	r.usersMu.RLock()
 	st.Users = len(r.users)
@@ -1327,6 +1475,8 @@ func (r *Repository) Stats() Stats {
 	r.corpusMu.RUnlock()
 	st.CorpusDeltas = r.corpusDeltas.Load()
 	st.CorpusRebuilds = r.corpusRebuilds.Load()
+	st.TaintRewritten = r.taintRewritten.Load()
+	st.TaintRedacted = r.taintRedacted.Load()
 	return st
 }
 

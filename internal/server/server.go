@@ -17,7 +17,9 @@
 //	GET /api/v1/search?q=Q[&buckets=N][&limit=L&offset=O]  privacy-aware keyword search
 //	GET /api/v1/query?spec=S&q=Q[&exec=E][&zoom=1][&limit=L&offset=O]  structural query
 //	GET /api/v1/reach?spec=S&from=M1&to=M2          structural-privacy reachability
-//	GET /api/v1/provenance?spec=S&exec=E&item=D     masked provenance of a data item
+//	GET /api/v1/provenance?spec=S&exec=E&item=D[&taint=off]  taint-masked provenance of a data item
+//	                                                (taint=off: attribute-local masking only — a debug escape
+//	                                                hatch requiring the operator opt-in Server.AllowDisableTaint)
 //	GET /api/v1/stats                               repository + cache statistics
 //	GET /metrics                                    Prometheus-style counters (no auth)
 //
@@ -48,6 +50,14 @@ type Server struct {
 	mux  *http.ServeMux
 	// Logger, when non-nil, receives one line per failed request.
 	Logger *log.Logger
+	// AllowDisableTaint honors the provenance taint=off debug parameter.
+	// Off by default: taint=off reopens the embedded-trace-value leak
+	// that internal/taint exists to close, so an operator must opt the
+	// whole server into it (provserve -allow-taint-off) — it is never a
+	// per-caller choice. Requests sending taint=off while disabled get
+	// 403, not silent taint-on, so a debugging session can't
+	// misattribute masked output to the unmasked path.
+	AllowDisableTaint bool
 }
 
 // New wraps a repository in an HTTP API.
@@ -344,7 +354,24 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request, user s
 		s.fail(w, r, fmt.Errorf("server: provenance needs spec, exec and item parameters"))
 		return
 	}
-	prov, err := s.repo.Provenance(user, specID, execID, item)
+	var opts repo.ProvenanceOptions
+	switch t := p.Get("taint"); t {
+	case "", "on":
+		// taint-aware masking: the default and only privacy-preserving mode.
+	case "off":
+		// Debug/benchmark escape hatch: attribute-local masking only;
+		// protected values embedded in derived traces are NOT rewritten.
+		// Only honored when the operator opted the server in.
+		if !s.AllowDisableTaint {
+			s.fail(w, r, fmt.Errorf("server: taint=off disabled on this server: %w", repo.ErrDenied))
+			return
+		}
+		opts.DisableTaint = true
+	default:
+		s.fail(w, r, fmt.Errorf("server: bad taint %q (want on or off)", t))
+		return
+	}
+	prov, err := s.repo.ProvenanceWith(user, specID, execID, item, opts)
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -373,24 +400,35 @@ type statsBody struct {
 	CorpusLevels    int   `json:"corpus_levels"`
 	CorpusDeltas    int64 `json:"corpus_deltas"`
 	CorpusRebuilds  int64 `json:"corpus_rebuilds"`
+
+	TaintRewritten   int64                          `json:"taint_rewritten"`
+	TaintRedacted    int64                          `json:"taint_redacted"`
+	TaintCacheHits   int64                          `json:"taint_cache_hits"`
+	TaintCacheMisses int64                          `json:"taint_cache_misses"`
+	TaintCache       map[string]repo.TaintCacheStat `json:"taint_cache,omitempty"`
 }
 
 func toStatsBody(st repo.Stats) statsBody {
 	return statsBody{
-		Specs:           st.Specs,
-		Executions:      st.Executions,
-		Users:           st.Users,
-		IndexTerms:      st.IndexTerms,
-		Postings:        st.Postings,
-		IndexSegments:   st.IndexSegments,
-		IndexSwaps:      st.IndexSwaps,
-		CacheHits:       st.CacheHits,
-		CacheMisses:     st.CacheMisses,
-		ViewCacheHits:   st.ViewCacheHits,
-		ViewCacheMisses: st.ViewCacheMisses,
-		CorpusLevels:    st.CorpusLevels,
-		CorpusDeltas:    st.CorpusDeltas,
-		CorpusRebuilds:  st.CorpusRebuilds,
+		Specs:            st.Specs,
+		Executions:       st.Executions,
+		Users:            st.Users,
+		IndexTerms:       st.IndexTerms,
+		Postings:         st.Postings,
+		IndexSegments:    st.IndexSegments,
+		IndexSwaps:       st.IndexSwaps,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		ViewCacheHits:    st.ViewCacheHits,
+		ViewCacheMisses:  st.ViewCacheMisses,
+		CorpusLevels:     st.CorpusLevels,
+		CorpusDeltas:     st.CorpusDeltas,
+		CorpusRebuilds:   st.CorpusRebuilds,
+		TaintRewritten:   st.TaintRewritten,
+		TaintRedacted:    st.TaintRedacted,
+		TaintCacheHits:   st.TaintCacheHits,
+		TaintCacheMisses: st.TaintCacheMisses,
+		TaintCache:       st.TaintCache,
 	}
 }
 
@@ -428,6 +466,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("corpus_levels", "Per-level ranking corpora currently built.", int64(st.CorpusLevels))
 	metric("corpus_deltas_total", "Incremental corpus document deltas applied.", st.CorpusDeltas)
 	metric("corpus_rebuilds_total", "From-scratch per-level corpus builds.", st.CorpusRebuilds)
+	metric("taint_items_rewritten_total", "Items whose embedded protected values were rewritten by taint masking.", st.TaintRewritten)
+	metric("taint_items_redacted_total", "Items fully redacted because taint rewriting could not remove a leak.", st.TaintRedacted)
+	metric("taint_cache_hits_total", "Per-shard taint-set cache hits.", st.TaintCacheHits)
+	metric("taint_cache_misses_total", "Per-shard taint-set cache misses.", st.TaintCacheMisses)
 	if _, err := io.WriteString(w, b.String()); err != nil && s.Logger != nil {
 		s.Logger.Printf("write metrics: %v", err)
 	}

@@ -504,3 +504,145 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("stats counters: %+v", st)
 	}
 }
+
+// scrapeMetric fetches /metrics and returns the value of one
+// single-sample metric line (name + space + integer).
+func scrapeMetric(t *testing.T, ts *httptest.Server, name string) int64 {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 {
+			return v
+		}
+	}
+	t.Fatalf("metric %q not in /metrics:\n%s", name, body)
+	return 0
+}
+
+// TestProvenanceTaintEscapeHatch: by default a public user's provenance
+// carries no embedded protected value and taint=off is refused outright
+// (it would reopen the leak for any caller); on a server the operator
+// opted in with AllowDisableTaint, taint=off reopens the hole; anything
+// else is rejected.
+func TestProvenanceTaintEscapeHatch(t *testing.T) {
+	ts, r, e := newTestServer(t)
+	var progID string
+	for id, it := range e.Items {
+		if it.Attr == "prognosis" {
+			progID = id
+		}
+	}
+	path := fmt.Sprintf("/api/v1/provenance?spec=disease-susceptibility&exec=E1&item=%s", progID)
+	var body struct {
+		Provenance *exec.Execution `json:"provenance"`
+	}
+	if code := get(t, ts, "bob", path, &body); code != http.StatusOK {
+		t.Fatalf("provenance status = %d", code)
+	}
+	for id, it := range body.Provenance.Items {
+		if strings.Contains(string(it.Value), "rs1") {
+			t.Errorf("taint-masked provenance item %s embeds rs1: %q", id, it.Value)
+		}
+	}
+	// The default server refuses the hatch: no caller-controlled bypass
+	// of the guarantee.
+	if code := get(t, ts, "bob", path+"&taint=off", nil); code != http.StatusForbidden {
+		t.Fatalf("taint=off on default server = %d, want 403", code)
+	}
+
+	debugSrv := New(r)
+	debugSrv.AllowDisableTaint = true
+	tsDebug := httptest.NewServer(debugSrv)
+	defer tsDebug.Close()
+	var leaky struct {
+		Provenance *exec.Execution `json:"provenance"`
+	}
+	if code := get(t, tsDebug, "bob", path+"&taint=off", &leaky); code != http.StatusOK {
+		t.Fatalf("taint=off status = %d", code)
+	}
+	var reproduced bool
+	for _, it := range leaky.Provenance.Items {
+		if strings.Contains(string(it.Value), "rs1") {
+			reproduced = true
+		}
+	}
+	if !reproduced {
+		t.Fatal("taint=off did not reproduce the embedded-value leak")
+	}
+	if code := get(t, ts, "bob", path+"&taint=maybe", nil); code != http.StatusBadRequest {
+		t.Fatalf("taint=maybe status = %d, want 400", code)
+	}
+}
+
+// TestTaintMetricsMonotone: the taint_* counters appear in /metrics,
+// only grow (monotone *_total gauges like the PR 2 counters), and the
+// per-shard taint-set cache hit/miss breakdown shows up in /stats.
+func TestTaintMetricsMonotone(t *testing.T) {
+	ts, _, e := newTestServer(t)
+	var progID string
+	for id, it := range e.Items {
+		if it.Attr == "prognosis" {
+			progID = id
+		}
+	}
+	path := fmt.Sprintf("/api/v1/provenance?spec=disease-susceptibility&exec=E1&item=%s", progID)
+	if code := get(t, ts, "bob", path, nil); code != http.StatusOK {
+		t.Fatalf("provenance: %d", code)
+	}
+	rewritten1 := scrapeMetric(t, ts, "provpriv_taint_items_rewritten_total")
+	redacted1 := scrapeMetric(t, ts, "provpriv_taint_items_redacted_total")
+	misses1 := scrapeMetric(t, ts, "provpriv_taint_cache_misses_total")
+	if rewritten1 == 0 {
+		t.Fatal("public provenance of prognosis rewrote nothing")
+	}
+	if misses1 == 0 {
+		t.Fatal("first taint analysis did not miss the cache")
+	}
+	// More traffic: every counter must be non-decreasing, and the
+	// second analysis of the same execution must hit the cache.
+	for i := 0; i < 3; i++ {
+		if code := get(t, ts, "bob", path, nil); code != http.StatusOK {
+			t.Fatalf("provenance #%d: %d", i, code)
+		}
+	}
+	rewritten2 := scrapeMetric(t, ts, "provpriv_taint_items_rewritten_total")
+	redacted2 := scrapeMetric(t, ts, "provpriv_taint_items_redacted_total")
+	hits2 := scrapeMetric(t, ts, "provpriv_taint_cache_hits_total")
+	misses2 := scrapeMetric(t, ts, "provpriv_taint_cache_misses_total")
+	if rewritten2 < rewritten1 || redacted2 < redacted1 || misses2 < misses1 {
+		t.Fatalf("taint counters regressed: rewritten %d→%d redacted %d→%d misses %d→%d",
+			rewritten1, rewritten2, redacted1, redacted2, misses1, misses2)
+	}
+	if rewritten2 == rewritten1 {
+		t.Fatal("repeat provenance did not rewrite again")
+	}
+	if hits2 == 0 {
+		t.Fatal("repeat provenance did not hit the taint-set cache")
+	}
+
+	var st struct {
+		TaintCacheHits   int64                          `json:"taint_cache_hits"`
+		TaintCacheMisses int64                          `json:"taint_cache_misses"`
+		TaintCache       map[string]repo.TaintCacheStat `json:"taint_cache"`
+	}
+	if code := get(t, ts, "alice", "/api/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.TaintCacheHits != hits2 || st.TaintCacheMisses != misses2 {
+		t.Fatalf("stats/metrics disagree: hits %d vs %d, misses %d vs %d",
+			st.TaintCacheHits, hits2, st.TaintCacheMisses, misses2)
+	}
+	sh, ok := st.TaintCache["disease-susceptibility"]
+	if !ok || sh.Hits+sh.Misses == 0 {
+		t.Fatalf("per-shard taint cache stats missing: %+v", st.TaintCache)
+	}
+}

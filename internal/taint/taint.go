@@ -1,0 +1,348 @@
+// Package taint closes the trace-string privacy hole of attribute-local
+// data masking (Section 3 of the CIDR 2011 paper) by propagating
+// protection along execution provenance edges — the provenance-graph
+// analogue of dataflow taint tracking.
+//
+// The hole: module outputs are symbolic computation traces that embed
+// the module's input values verbatim (see exec.DefaultFunc), so a
+// protected *input* value survives inside every derived item's value
+// string even after the protected item itself is masked. Observed
+// end-to-end: the public provenance of "prognosis" embedded the raw
+// "snps" value.
+//
+// The fix has three phases:
+//
+//   - seed: every data item whose attribute the policy protects becomes
+//     a taint source, labelled with its raw value and required level;
+//   - propagate: labels flow along provenance edges via graph
+//     reachability — a derived item is tainted by every protected
+//     ancestor (over-approximating is safe: sanitization only acts on
+//     values that actually embed a tainted raw value);
+//   - sanitize: for a viewer below a label's required level, each
+//     embedded occurrence of the raw value is rewritten to its
+//     generalized form (when the attribute has a generalization
+//     hierarchy) or to an attribute-tagged mask token; when rewriting
+//     cannot prove the leak is gone the whole value is redacted.
+//
+// Analysis (seed + propagate) is separated from application so that the
+// expensive part — one transitive closure per execution — can be cached:
+// a Set computed once on the full execution applies to every collapsed
+// view of it at every access level (item ids are stable under
+// exec.Collapse, and labels carry their required level so level
+// filtering happens at apply time).
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/graph"
+	"provpriv/internal/privacy"
+)
+
+// Generalizer coarsens a value by a number of ladder steps. It is the
+// interface slice of datapriv.Hierarchy the engine needs, declared here
+// so datapriv can delegate to taint without an import cycle.
+type Generalizer interface {
+	Generalize(v exec.Value, depth int) exec.Value
+	MaxDepth() int
+}
+
+// Label marks one protected ancestor whose raw value may be embedded in
+// a descendant's trace string.
+type Label struct {
+	ItemID   string        // the protected source item
+	Attr     string        // its attribute
+	Required privacy.Level // minimum level allowed to see Raw
+	Raw      exec.Value    // the raw value to hunt for in descendants
+}
+
+// Set is the result of taint analysis over one execution: for each item
+// id, the protected ancestors whose values may leak into it (including
+// the source item itself). A nil *Set applies no propagation —
+// sanitization degrades to attribute-local masking.
+type Set struct {
+	byItem map[string][]Label
+	labels int
+}
+
+// LabelsFor returns the labels tainting an item that a viewer at the
+// given level is not entitled to, in deterministic order.
+func (s *Set) LabelsFor(itemID string, level privacy.Level) []Label {
+	if s == nil {
+		return nil
+	}
+	var out []Label
+	for _, l := range s.byItem[itemID] {
+		if l.Required > level {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Items returns how many items carry at least one label.
+func (s *Set) Items() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.byItem)
+}
+
+// Labels returns the total number of (item, label) taint pairs.
+func (s *Set) Labels() int {
+	if s == nil {
+		return 0
+	}
+	return s.labels
+}
+
+// Report accounts for what a sanitization pass did — the utility side of
+// the privacy/utility trade-off. Every item lands in exactly one bucket.
+type Report struct {
+	Visible       int // shown unmodified
+	Generalized   int // protected items coarsened via a hierarchy
+	Redacted      int // protected items fully masked (no hierarchy, or rewrite failed)
+	Rewritten     int // visible items whose embedded tainted values were rewritten
+	TaintRedacted int // visible items redacted because rewriting could not remove a leak
+}
+
+// Total returns the number of items processed.
+func (r Report) Total() int {
+	return r.Visible + r.Generalized + r.Redacted + r.Rewritten + r.TaintRedacted
+}
+
+// UtilityScore is the fraction of information surviving masking: full
+// credit for visible items, 3/4 for rewritten ones (the item's own value
+// shape survives, only embedded ancestors are coarsened), half for
+// generalized ones, none for redactions.
+func (r Report) UtilityScore() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 1
+	}
+	return (float64(r.Visible) + 0.75*float64(r.Rewritten) + 0.5*float64(r.Generalized)) / float64(t)
+}
+
+// Engine seeds, propagates and applies taint for one policy.
+type Engine struct {
+	Policy *privacy.Policy
+	// Generalizers maps attributes to their generalization ladders
+	// (typically datapriv.Hierarchy values). Attributes without an entry
+	// fall back to mask tokens / full redaction.
+	Generalizers map[string]Generalizer
+}
+
+// NewEngine builds a taint engine. generalizers may be nil.
+func NewEngine(pol *privacy.Policy, generalizers map[string]Generalizer) *Engine {
+	return &Engine{Policy: pol, Generalizers: generalizers}
+}
+
+func (en *Engine) generalizer(attr string) Generalizer {
+	g, ok := en.Generalizers[attr]
+	if !ok || g == nil || g.MaxDepth() == 0 {
+		return nil
+	}
+	return g
+}
+
+// Analyze seeds taint labels from the policy's protected attributes and
+// propagates them along provenance edges: an item is tainted by every
+// protected item whose producer reaches its producer. The Set is
+// level-independent (labels carry their required level) and applies to
+// any collapsed view of e, so it is computed once per execution.
+//
+// Run Analyze on the *full* execution, not a collapsed view: a protected
+// item internal to a collapsed composite is absent from the view's item
+// set, but its raw value still rides inside downstream trace strings.
+func (en *Engine) Analyze(e *exec.Execution) *Set {
+	protected := en.Policy.ProtectedAttrs(privacy.Public)
+	set := &Set{byItem: make(map[string][]Label)}
+	if len(protected) == 0 {
+		return set
+	}
+	var labels []Label
+	for _, id := range e.ItemIDs() {
+		it := e.Items[id]
+		req, ok := protected[it.Attr]
+		// Redacted or empty values cannot leak through substrings.
+		if !ok || it.Redacted || it.Value == "" {
+			continue
+		}
+		labels = append(labels, Label{ItemID: id, Attr: it.Attr, Required: req, Raw: it.Value})
+	}
+	if len(labels) == 0 {
+		return set
+	}
+	g := e.Graph()
+	cl, err := graph.NewClosure(g)
+	if err != nil {
+		// Validated executions are acyclic; if not, over-taint everything
+		// (privacy over utility).
+		for id := range e.Items {
+			set.byItem[id] = append([]Label(nil), labels...)
+			set.labels += len(labels)
+		}
+		return set
+	}
+	itemsAt := e.ItemsByProducer()
+	for _, l := range labels {
+		src := g.Lookup(e.Items[l.ItemID].Producer)
+		if src < 0 {
+			continue
+		}
+		cl.From(src).ForEach(func(n int) {
+			for _, it := range itemsAt[g.Name(graph.NodeID(n))] {
+				set.byItem[it.ID] = append(set.byItem[it.ID], l)
+				set.labels++
+			}
+		})
+	}
+	return set
+}
+
+// Sanitize is Analyze followed by Apply — the one-shot entry point for
+// masking an execution you hold in full.
+func (en *Engine) Sanitize(e *exec.Execution, level privacy.Level) (*exec.Execution, Report) {
+	return en.Apply(e, level, en.Analyze(e))
+}
+
+// Apply returns a deep copy of e masked for a viewer at the given level
+// using a precomputed taint set (nil set = attribute-local masking
+// only). The copy shares no mutable state with e — nodes, frames, edges
+// and item slices are all fresh — so later mutation of either side can
+// never corrupt the other.
+func (en *Engine) Apply(e *exec.Execution, level privacy.Level, set *Set) (*exec.Execution, Report) {
+	var rep Report
+	out := &exec.Execution{
+		ID:     fmt.Sprintf("%s/masked@%s", e.ID, level),
+		SpecID: e.SpecID,
+		Nodes:  make([]*exec.Node, 0, len(e.Nodes)),
+		Edges:  make([]exec.Edge, 0, len(e.Edges)),
+		Items:  make(map[string]*exec.DataItem, len(e.Items)),
+	}
+	for _, n := range e.Nodes {
+		cp := *n
+		cp.Frames = append([]exec.Frame(nil), n.Frames...)
+		out.Nodes = append(out.Nodes, &cp)
+	}
+	for _, ed := range e.Edges {
+		out.Edges = append(out.Edges, exec.Edge{
+			From: ed.From, To: ed.To, Items: append([]string(nil), ed.Items...),
+		})
+	}
+	for id, it := range e.Items {
+		cp := *it
+		out.Items[id] = &cp
+		required := en.Policy.DataLevels[it.Attr]
+		labels := set.LabelsFor(id, level)
+		if level >= required {
+			// Attribute visible at this level; embedded protected
+			// ancestors may still leak through the trace string.
+			v, changed, clean := en.rewrite(it.Value, level, labels)
+			switch {
+			case !clean:
+				cp.Value, cp.Redacted = "", true
+				rep.TaintRedacted++
+			case changed:
+				cp.Value = v
+				rep.Rewritten++
+			default:
+				rep.Visible++
+			}
+			continue
+		}
+		// The item itself is protected: generalize when a ladder exists.
+		// The generalized form of a *derived* protected item may still
+		// embed protected ancestors, so it passes through the same
+		// rewrite-and-verify gate (which also catches a ladder whose
+		// output contains the item's own raw value).
+		if g := en.generalizer(it.Attr); g != nil {
+			gen := g.Generalize(it.Value, int(required-level))
+			if v, _, clean := en.rewrite(gen, level, labels); clean {
+				cp.Value = v
+				rep.Generalized++
+				continue
+			}
+		}
+		cp.Value, cp.Redacted = "", true
+		rep.Redacted++
+	}
+	return out, rep
+}
+
+// rewrite replaces every embedded occurrence of a tainted raw value in v
+// with its replacement, then verifies no raw value survives. It returns
+// the rewritten value, whether anything changed, and whether the result
+// is provably leak-free; callers must redact when clean is false.
+func (en *Engine) rewrite(v exec.Value, level privacy.Level, labels []Label) (exec.Value, bool, bool) {
+	if len(labels) == 0 {
+		return v, false, true
+	}
+	labels = dedupeLabels(labels)
+	s := string(v)
+	changed := false
+	for _, l := range labels {
+		raw := string(l.Raw)
+		if !strings.Contains(s, raw) {
+			continue
+		}
+		s = strings.ReplaceAll(s, raw, string(en.replacement(l, level)))
+		changed = true
+	}
+	// Prove the leak is gone: a replacement may itself contain another
+	// label's raw value (or, pathologically, its own). If any raw
+	// survives, rewriting failed and the caller redacts the whole value.
+	for _, l := range labels {
+		if strings.Contains(s, string(l.Raw)) {
+			return v, changed, false
+		}
+	}
+	return exec.Value(s), changed, true
+}
+
+// replacement is the stand-in for one tainted value: the generalization
+// of the raw value at the viewer's level gap when the attribute has a
+// ladder and the generalized form actually drops the raw value, else an
+// attribute-tagged mask token.
+func (en *Engine) replacement(l Label, level privacy.Level) exec.Value {
+	if g := en.generalizer(l.Attr); g != nil {
+		gen := g.Generalize(l.Raw, int(l.Required-level))
+		if !strings.Contains(string(gen), string(l.Raw)) {
+			return gen
+		}
+	}
+	return exec.Value("[" + l.Attr + ":*]")
+}
+
+// dedupeLabels drops duplicate (attr, raw) pairs and orders by
+// descending raw length (so a raw that contains another raw is replaced
+// first), breaking ties lexicographically for determinism.
+func dedupeLabels(labels []Label) []Label {
+	type key struct {
+		attr string
+		raw  exec.Value
+	}
+	seen := make(map[key]bool, len(labels))
+	out := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		k := key{l.Attr, l.Raw}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Raw) != len(out[j].Raw) {
+			return len(out[i].Raw) > len(out[j].Raw)
+		}
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		return out[i].Raw < out[j].Raw
+	})
+	return out
+}

@@ -42,6 +42,7 @@ import (
 	"provpriv/internal/repo"
 	"provpriv/internal/search"
 	"provpriv/internal/structpriv"
+	"provpriv/internal/taint"
 	"provpriv/internal/workflow"
 )
 
@@ -148,12 +149,28 @@ const (
 
 // Data privacy.
 type (
-	// Masker applies data-privacy masking to executions.
+	// Masker applies taint-aware data-privacy masking to executions.
 	Masker = datapriv.Masker
 	// GeneralizationHierarchy coarsens values level by level.
 	GeneralizationHierarchy = datapriv.Hierarchy
 	// MaskReport accounts for a masking pass.
 	MaskReport = datapriv.Report
+	// TaintEngine seeds, propagates and applies provenance taint
+	// (internal/taint): protection flows along provenance edges so a
+	// protected input value embedded in a derived item's trace string
+	// is rewritten or redacted for under-privileged viewers.
+	TaintEngine = taint.Engine
+	// TaintSet is a cached taint analysis of one execution.
+	TaintSet = taint.Set
+	// TaintLabel marks one protected ancestor of a tainted item.
+	TaintLabel = taint.Label
+	// TaintGeneralizer coarsens tainted values; *GeneralizationHierarchy
+	// implements it. Exported so NewTaintEngine is callable from outside
+	// the module (taint.Generalizer itself lives under internal/).
+	TaintGeneralizer = taint.Generalizer
+	// ProvenanceOptions tunes Repository provenance retrieval (e.g. the
+	// taint=off debugging escape hatch).
+	ProvenanceOptions = repo.ProvenanceOptions
 )
 
 // NewRepository returns an empty repository.
@@ -175,6 +192,12 @@ func NewRunner(s *Spec, funcs Registry) *Runner { return exec.NewRunner(s, funcs
 // NewMasker builds a data-privacy masker.
 func NewMasker(p *Policy, hierarchies map[string]*GeneralizationHierarchy) *Masker {
 	return datapriv.NewMasker(p, hierarchies)
+}
+
+// NewTaintEngine builds a taint engine directly; most callers want
+// NewMasker (whose Engine method wires generalization hierarchies in).
+func NewTaintEngine(p *Policy, generalizers map[string]TaintGeneralizer) *TaintEngine {
+	return taint.NewEngine(p, generalizers)
 }
 
 // DiseaseSusceptibility builds the paper's Figure 1 specification.
