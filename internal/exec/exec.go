@@ -93,29 +93,30 @@ type Edge struct {
 }
 
 // Execution is a provenance graph: one run of a workflow specification.
+//
+// An Execution holds no hidden mutable state: every method that does not
+// obviously write to it is safe for concurrent readers. The repository
+// relies on this to serve one cached masked snapshot to arbitrarily many
+// concurrent requests (see internal/repo) — do not reintroduce lazily
+// memoized fields here without synchronization.
 type Execution struct {
 	ID     string               `json:"id"`
 	SpecID string               `json:"spec"`
 	Nodes  []*Node              `json:"nodes"`
 	Edges  []Edge               `json:"edges"`
 	Items  map[string]*DataItem `json:"items"`
-
-	byID map[string]*Node
 }
 
-// Node returns the node with the given id, or nil.
+// Node returns the node with the given id, or nil. The scan is linear:
+// no read path resolves nodes by id in a loop, and memoizing the index
+// would make concurrent readers of a shared execution race (it used to).
 func (e *Execution) Node(id string) *Node {
-	if e.byID == nil {
-		e.reindex()
-	}
-	return e.byID[id]
-}
-
-func (e *Execution) reindex() {
-	e.byID = make(map[string]*Node, len(e.Nodes))
 	for _, n := range e.Nodes {
-		e.byID[n.ID] = n
+		if n.ID == id {
+			return n
+		}
 	}
+	return nil
 }
 
 // NodeIDs returns all node ids in sorted order.

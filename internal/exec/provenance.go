@@ -1,6 +1,10 @@
 package exec
 
-import "fmt"
+import (
+	"fmt"
+
+	"provpriv/internal/graph"
+)
 
 // Provenance returns the provenance of a data item: the sub-execution
 // induced by all nodes on paths from the execution's source node(s) to
@@ -8,11 +12,18 @@ import "fmt"
 // the set of paths from the start node ... that produced d as output").
 // Items on dropped edges are omitted; the queried item itself is kept.
 func Provenance(e *Execution, itemID string) (*Execution, error) {
+	return ProvenanceIn(e, e.Graph(), itemID)
+}
+
+// ProvenanceIn is Provenance reusing a graph already derived from e —
+// the warm serving path: a cached masked snapshot carries its graph, so
+// per-request provenance skips the O(nodes+edges) rebuild. g is only
+// read.
+func ProvenanceIn(e *Execution, g *graph.Graph, itemID string) (*Execution, error) {
 	it := e.Items[itemID]
 	if it == nil {
 		return nil, fmt.Errorf("exec: unknown data item %q", itemID)
 	}
-	g := e.Graph()
 	prod := g.Lookup(it.Producer)
 	if prod == -1 {
 		return nil, fmt.Errorf("exec: item %s has unknown producer %q", itemID, it.Producer)
@@ -30,11 +41,15 @@ func Provenance(e *Execution, itemID string) (*Execution, error) {
 // might have been affected" provenance query from the paper's
 // introduction. The queried item itself is included.
 func Downstream(e *Execution, itemID string) ([]string, error) {
+	return DownstreamIn(e, e.Graph(), itemID)
+}
+
+// DownstreamIn is Downstream reusing a graph already derived from e.
+func DownstreamIn(e *Execution, g *graph.Graph, itemID string) ([]string, error) {
 	it := e.Items[itemID]
 	if it == nil {
 		return nil, fmt.Errorf("exec: unknown data item %q", itemID)
 	}
-	g := e.Graph()
 	prod := g.Lookup(it.Producer)
 	reach := make(map[string]bool)
 	for _, n := range g.ReachableFrom(prod) {

@@ -48,6 +48,66 @@ func TestBitsetElems(t *testing.T) {
 	}
 }
 
+// TestBitsetForEachSparse pins the word-skipping fast path: elements
+// straddling skip-block boundaries, in the final partial block, and in
+// sets whose word count is not a multiple of the skip width must all be
+// visited, in order.
+func TestBitsetForEachSparse(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 255, 256, 257, 1000, 1337} {
+		b := NewBitset(n)
+		want := []int{}
+		for _, i := range []int{0, 62, 63, 64, 191, 255, 256, 320, 511, 512, 999, n - 1} {
+			if i < n && !b.Has(i) {
+				b.Set(i)
+				want = append(want, i)
+			}
+		}
+		// want is ascending by construction: candidates are appended in
+		// increasing order and n-1 either duplicates the largest or
+		// extends it.
+		var got []int
+		b.ForEach(func(i int) { got = append(got, i) })
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: ForEach visited %v, want %v", n, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: ForEach visited %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkBitsetForEach measures iteration over dense vs sparse sets;
+// the sparse case is the shape taint propagation sees (a closure row
+// touching a handful of a wide execution's nodes).
+func BenchmarkBitsetForEach(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		n      int
+		stride int
+	}{
+		{"dense", 4096, 1},
+		{"mid", 4096, 64},
+		{"sparse", 4096, 509},
+	} {
+		bs := NewBitset(tc.n)
+		for i := 0; i < tc.n; i += tc.stride {
+			bs.Set(i)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sum := 0
+			for i := 0; i < b.N; i++ {
+				bs.ForEach(func(x int) { sum += x })
+			}
+			if sum < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
 func TestBitsetSetOps(t *testing.T) {
 	a := NewBitset(100)
 	b := NewBitset(100)

@@ -8,6 +8,7 @@ import (
 	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
 	"provpriv/internal/privacy"
+	"provpriv/internal/taint"
 	"provpriv/internal/workflow"
 )
 
@@ -25,6 +26,9 @@ type ViewStore struct {
 	specs map[string]*workflow.Spec
 	pols  map[string]*privacy.Policy
 	hiers map[string]*workflow.Hierarchy
+	// engines holds each spec's policy-scoped taint/masking engine,
+	// built once at registration instead of once per materialization.
+	engines map[string]*taint.Engine
 	// levels materialized per spec, sorted.
 	levels map[string][]privacy.Level
 }
@@ -47,11 +51,12 @@ type viewKey struct {
 // NewViewStore creates an empty store.
 func NewViewStore() *ViewStore {
 	return &ViewStore{
-		views:  make(map[viewKey]storedView),
-		specs:  make(map[string]*workflow.Spec),
-		pols:   make(map[string]*privacy.Policy),
-		hiers:  make(map[string]*workflow.Hierarchy),
-		levels: make(map[string][]privacy.Level),
+		views:   make(map[viewKey]storedView),
+		specs:   make(map[string]*workflow.Spec),
+		pols:    make(map[string]*privacy.Policy),
+		hiers:   make(map[string]*workflow.Hierarchy),
+		engines: make(map[string]*taint.Engine),
+		levels:  make(map[string][]privacy.Level),
 	}
 }
 
@@ -72,6 +77,7 @@ func (vs *ViewStore) RegisterSpec(s *workflow.Spec, pol *privacy.Policy, levels 
 	vs.specs[s.ID] = s
 	vs.pols[s.ID] = pol
 	vs.hiers[s.ID] = h
+	vs.engines[s.ID] = datapriv.NewMasker(pol, nil).Engine()
 	vs.levels[s.ID] = ls
 	return nil
 }
@@ -82,6 +88,7 @@ func (vs *ViewStore) Materialize(e *exec.Execution) error {
 	s := vs.specs[e.SpecID]
 	pol := vs.pols[e.SpecID]
 	h := vs.hiers[e.SpecID]
+	engine := vs.engines[e.SpecID]
 	levels := vs.levels[e.SpecID]
 	vs.mu.RUnlock()
 	if s == nil {
@@ -90,8 +97,8 @@ func (vs *ViewStore) Materialize(e *exec.Execution) error {
 	// One taint analysis of the full execution serves every level's
 	// view: protected items hidden by a collapse are absent from the
 	// view but still taint descendants, so analyzing the collapsed view
-	// would miss them.
-	engine := datapriv.NewMasker(pol, nil).Engine()
+	// would miss them. The engine itself is policy-scoped and was built
+	// at registration.
 	taints := engine.Analyze(e)
 	for _, lvl := range levels {
 		prefix := pol.AccessView(h, lvl)

@@ -147,10 +147,41 @@ func phraseMatchesModule(m *workflow.Module, phrase []string) bool {
 	return true
 }
 
+// PreparedExec bundles an execution with its derived graph and
+// transitive closure, built once. The execution MUST be immutable for
+// the lifetime of the PreparedExec: internal/repo builds one per cached
+// masked snapshot and shares it between arbitrarily many concurrent
+// evaluations, which is sound only because neither the evaluator nor
+// any other read path mutates the execution, the graph or the closure.
+type PreparedExec struct {
+	Exec *exec.Execution
+	g    *graph.Graph
+	cl   *graph.Closure
+}
+
+// PrepareExec derives the graph and closure of an (immutable) execution
+// so repeated evaluations skip both rebuilds.
+func PrepareExec(e *exec.Execution) (*PreparedExec, error) {
+	g := e.Graph()
+	cl, err := graph.NewClosure(g)
+	if err != nil {
+		return nil, fmt.Errorf("query: execution graph: %w", err)
+	}
+	return &PreparedExec{Exec: e, g: g, cl: cl}, nil
+}
+
+// Graph exposes the pre-derived graph for read-only reuse (e.g.
+// exec.ProvenanceIn on the warm serving path).
+func (pe *PreparedExec) Graph() *graph.Graph { return pe.g }
+
 // Evaluate runs the query against an execution with no privacy
 // constraints.
 func (ev *Evaluator) Evaluate(q *Query, e *exec.Execution) (*Answer, error) {
-	return ev.evaluate(q, e, nil, 0, false)
+	pe, err := PrepareExec(e)
+	if err != nil {
+		return nil, err
+	}
+	return ev.evaluate(q, pe, nil, 0, false)
 }
 
 // EvaluateWithPrivacy runs the query under the paper's privacy-
@@ -173,23 +204,40 @@ func (ev *Evaluator) EvaluateWithPrivacy(q *Query, e *exec.Execution, pol *priva
 	masker := datapriv.NewMasker(pol, nil)
 	masked, _ := masker.MaskView(e, collapsed, level)
 	zoomed := len(prefix) < len(h.All())
-	return ev.evaluate(q, masked, pol, level, zoomed)
+	pe, err := PrepareExec(masked)
+	if err != nil {
+		return nil, err
+	}
+	return ev.evaluate(q, pe, pol, level, zoomed)
 }
 
 // EvaluatePrepared runs the query against an execution view that the
 // caller has already collapsed to the user's access view and
 // taint-masked for the user's level (internal/repo does this through
 // its per-shard caches, so the collapse and taint analysis are paid
-// once per execution, not per query). zoomedOut flags whether the view
-// is coarser than the full expansion.
+// once per execution, not per query). The view is treated as strictly
+// read-only. zoomedOut flags whether the view is coarser than the full
+// expansion.
 func (ev *Evaluator) EvaluatePrepared(q *Query, masked *exec.Execution, pol *privacy.Policy, level privacy.Level, zoomedOut bool) (*Answer, error) {
-	return ev.evaluate(q, masked, pol, level, zoomedOut)
+	pe, err := PrepareExec(masked)
+	if err != nil {
+		return nil, err
+	}
+	return ev.evaluate(q, pe, pol, level, zoomedOut)
 }
 
-func (ev *Evaluator) evaluate(q *Query, e *exec.Execution, pol *privacy.Policy, level privacy.Level, zoomed bool) (*Answer, error) {
+// EvaluateOn is EvaluatePrepared against a pre-derived PreparedExec:
+// the fully amortized warm path — no graph or closure rebuild, no
+// masking, only the match itself.
+func (ev *Evaluator) EvaluateOn(q *Query, pe *PreparedExec, pol *privacy.Policy, level privacy.Level, zoomedOut bool) (*Answer, error) {
+	return ev.evaluate(q, pe, pol, level, zoomedOut)
+}
+
+func (ev *Evaluator) evaluate(q *Query, pe *PreparedExec, pol *privacy.Policy, level privacy.Level, zoomed bool) (*Answer, error) {
 	if len(q.Vars) == 0 {
 		return nil, fmt.Errorf("query: no variables")
 	}
+	e, g, cl := pe.Exec, pe.g, pe.cl
 	// Candidates per variable.
 	cands := make(map[string][]string, len(q.Vars))
 	for v, phrase := range q.Vars {
@@ -198,11 +246,6 @@ func (ev *Evaluator) evaluate(q *Query, e *exec.Execution, pol *privacy.Policy, 
 			return &Answer{ExecutionID: e.ID, ZoomedOut: zoomed}, nil
 		}
 		cands[v] = ns
-	}
-	g := e.Graph()
-	cl, err := graph.NewClosure(g)
-	if err != nil {
-		return nil, fmt.Errorf("query: execution graph: %w", err)
 	}
 	check := func(b Binding, c Constraint) bool {
 		x, okx := b[c.X]
@@ -278,7 +321,7 @@ func (ev *Evaluator) evaluate(q *Query, e *exec.Execution, pol *privacy.Policy, 
 			if len(items) == 0 {
 				continue
 			}
-			p, err := exec.Provenance(e, items[0])
+			p, err := exec.ProvenanceIn(e, g, items[0])
 			if err != nil {
 				return nil, err
 			}
@@ -293,7 +336,7 @@ func (ev *Evaluator) evaluate(q *Query, e *exec.Execution, pol *privacy.Policy, 
 			}
 			set := make(map[string]bool)
 			for _, it := range items {
-				down, err := exec.Downstream(e, it)
+				down, err := exec.DownstreamIn(e, g, it)
 				if err != nil {
 					return nil, err
 				}

@@ -50,7 +50,11 @@ func (ev *Evaluator) ZoomOut(q *Query, e *exec.Execution, pol *privacy.Policy, l
 			return nil, err
 		}
 		masked, _ := engine.Apply(view, level, taints)
-		ans, err := ev.evaluate(q, masked, pol, level, steps > 0)
+		pe, err := PrepareExec(masked)
+		if err != nil {
+			return nil, err
+		}
+		ans, err := ev.evaluate(q, pe, pol, level, steps > 0)
 		if err != nil {
 			return nil, err
 		}

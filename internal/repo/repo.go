@@ -109,6 +109,23 @@ type shard struct {
 	// the LRU's own mutex; fills go through the flight group.
 	taints *index.LRU[taintCacheKey, *taint.Set]
 
+	// masked caches fully privacy-enforced snapshots — collapsed,
+	// taint-masked executions — keyed by (execID, level, polGen), so the
+	// enforced read paths (evaluateQuery, Provenance) serve a shared
+	// immutable execution with an atomic lookup instead of re-masking
+	// per request. Snapshots are read-only by contract: exec.Execution
+	// holds no hidden mutable state, EvaluatePrepared and
+	// exec.Provenance only read or copy, and the -race immutability
+	// tests pin that. The polGen fence plus an explicit Purge makes
+	// pre-update masks unreachable after UpdatePolicy/SetGeneralization.
+	masked *index.LRU[maskedCacheKey, maskedSnapshot]
+
+	// engine is the taint/masking engine for the shard's current policy
+	// and generalization hierarchies — policy-scoped, so it is built
+	// once per policy change instead of once per request. Guarded by mu
+	// (rebuilt by UpdatePolicy and SetGeneralization).
+	engine *taint.Engine
+
 	// polGen counts policy generations (bumped by UpdatePolicy);
 	// guarded by mu. It keys the collapsed-view cache so views built
 	// under a replaced policy are unreachable.
@@ -137,6 +154,32 @@ type viewCacheKey struct {
 type taintCacheKey struct {
 	execID string
 	polGen uint64
+}
+
+// maskedCacheKey keys the per-shard masked-execution snapshot cache:
+// unlike taint sets, a masked snapshot is level-specific.
+type maskedCacheKey struct {
+	execID string
+	level  privacy.Level
+	polGen uint64
+}
+
+// maskedSnapshot is one cached privacy-enforced execution plus the
+// masking report recorded when it was built (replayed into the taint
+// counters on every serve, like the view store's fast path) and whether
+// the view is coarser than the full expansion. The execution rides
+// inside a query.PreparedExec — its graph and transitive closure are
+// derived once at fill time, so warm queries skip both rebuilds. pol is
+// the policy the snapshot was built under: evaluation must use it, not
+// a re-read of the shard's current policy, so an answer raced by
+// UpdatePolicy is internally consistent with one generation (view,
+// mask and module filtering all from the same policy). All of it is
+// immutable and shared by every concurrent reader.
+type maskedSnapshot struct {
+	prep   *query.PreparedExec
+	pol    *privacy.Policy
+	rep    taint.Report
+	zoomed bool
 }
 
 // viewCacheCap bounds the number of collapsed views retained per shard
@@ -183,13 +226,16 @@ type Repository struct {
 	// result caches (resetResultCache swaps the cache object), and
 	// viewHitsBase/viewMissesBase those of removed shards' view caches,
 	// keeping the *_total metrics monotonic. taintHitsBase/
-	// taintMissesBase do the same for removed shards' taint-set caches.
-	cacheHitsBase   atomic.Int64
-	cacheMissesBase atomic.Int64
-	viewHitsBase    atomic.Int64
-	viewMissesBase  atomic.Int64
-	taintHitsBase   atomic.Int64
-	taintMissesBase atomic.Int64
+	// taintMissesBase do the same for removed shards' taint-set caches,
+	// maskedHitsBase/maskedMissesBase for their masked-snapshot caches.
+	cacheHitsBase    atomic.Int64
+	cacheMissesBase  atomic.Int64
+	viewHitsBase     atomic.Int64
+	viewMissesBase   atomic.Int64
+	taintHitsBase    atomic.Int64
+	taintMissesBase  atomic.Int64
+	maskedHitsBase   atomic.Int64
+	maskedMissesBase atomic.Int64
 
 	// taintRewritten/taintRedacted count items the taint engine
 	// rewrote / fully redacted across all read-path masking (provenance
@@ -415,6 +461,8 @@ func (r *Repository) newShard(s *workflow.Spec, pol *privacy.Policy) (*shard, *p
 		execs:  make(map[string]*exec.Execution),
 		views:  index.NewLRU[viewCacheKey, *exec.Execution](viewCacheCap, viewCacheTTL),
 		taints: index.NewLRU[taintCacheKey, *taint.Set](viewCacheCap, viewCacheTTL),
+		masked: index.NewLRU[maskedCacheKey, maskedSnapshot](viewCacheCap, viewCacheTTL),
+		engine: datapriv.NewMasker(pol, nil).Engine(),
 		seq:    r.mutSeq.Add(1),
 	}, pol, nil
 }
@@ -654,6 +702,11 @@ func (r *Repository) RemoveSpec(specID string) error {
 		r.taintHitsBase.Add(h)
 		r.taintMissesBase.Add(m)
 	}
+	if sh.masked != nil {
+		h, m := sh.masked.Stats()
+		r.maskedHitsBase.Add(h)
+		r.maskedMissesBase.Add(m)
+	}
 	delete(r.shards, specID)
 	r.mu.Unlock()
 	// Index swaps and corpus deltas run outside the directory lock so
@@ -746,9 +799,11 @@ func (r *Repository) UpdatePolicy(specID string, pol *privacy.Policy) error {
 		sh.viewStore = vs
 	}
 	sh.policy = pol
+	sh.engine = datapriv.NewMasker(pol, sh.hierarchies).Engine()
 	sh.polGen++       // old-generation cache entries become unreachable
 	sh.views.Purge()  // and are dropped eagerly to free memory
 	sh.taints.Purge() // taint sets seeded under the old policy likewise
+	sh.masked.Purge() // no pre-update masked snapshot may survive
 	sh.seq = r.mutSeq.Add(1)
 	sh.mu.Unlock()
 	r.invalidateDerived()
@@ -776,6 +831,16 @@ func (r *Repository) SetGeneralization(specID string, hs map[string]*datapriv.Hi
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.hierarchies = hs
+	sh.engine = datapriv.NewMasker(sh.policy, hs).Engine()
+	// Hierarchies change what masking emits, so cached masked snapshots
+	// are stale; bump the generation fence (making any in-flight fill
+	// under the old engine unreachable) and drop all derived caches.
+	// Collapsed views and taint sets do not depend on hierarchies, but
+	// this mutation is rare and correctness beats the rebuild cost.
+	sh.polGen++
+	sh.views.Purge()
+	sh.taints.Purge()
+	sh.masked.Purge()
 	sh.seq = r.mutSeq.Add(1)
 	return nil
 }
@@ -1008,28 +1073,62 @@ func (r *Repository) queryContext(userName, specID, execID string) (*privacy.Use
 	return u, sh, e, nil
 }
 
-// evaluateQuery runs one parsed structural query against one execution
-// under the user's privacy constraints, going through the shard's
-// caches: the collapsed view and the full-execution taint set are each
-// built once per (execution, level) / execution and reused, so repeated
-// queries pay only the (cheap) masking apply.
-func (r *Repository) evaluateQuery(sh *shard, e *exec.Execution, q *query.Query, level privacy.Level) (*query.Answer, error) {
+// maskedExecFor returns the fully privacy-enforced snapshot of an
+// execution at a level — collapsed to the access view and taint-masked —
+// serving from the shard's masked-snapshot cache. On miss the snapshot
+// is built once under the flight group (collapsed view and taint set
+// each come from their own caches) and published for every subsequent
+// reader; the returned execution is shared and MUST be treated as
+// read-only. The masking report is the one recorded at build time,
+// replayed by callers into the serving counters.
+func (r *Repository) maskedExecFor(sh *shard, e *exec.Execution, level privacy.Level) (maskedSnapshot, error) {
 	sh.mu.RLock()
 	pol := sh.policy
-	hierarchies := sh.hierarchies
+	en := sh.engine
 	polGen := sh.polGen
 	sh.mu.RUnlock()
-	access := pol.AccessView(sh.hier, level)
-	view, err := r.collapsedView(sh, e, level, access, polGen)
+	key := maskedCacheKey{execID: e.ID, level: level, polGen: polGen}
+	if snap, ok := sh.masked.Get(key); ok {
+		return snap, nil
+	}
+	got, err := r.flights.Do(fmt.Sprintf("masked|%s|%s|%d|%d", sh.spec.ID, e.ID, int(level), polGen), func() (any, error) {
+		if snap, ok := sh.masked.Peek(key); ok {
+			return snap, nil
+		}
+		access := pol.AccessView(sh.hier, level)
+		view, err := r.collapsedView(sh, e, level, access, polGen)
+		if err != nil {
+			return maskedSnapshot{}, err
+		}
+		set := r.taintSetFor(sh, e, en, polGen)
+		masked, rep := en.Apply(view, level, set)
+		prep, err := query.PrepareExec(masked)
+		if err != nil {
+			return maskedSnapshot{}, err
+		}
+		snap := maskedSnapshot{prep: prep, pol: pol, rep: rep, zoomed: len(access) < len(sh.hier.All())}
+		sh.masked.Put(key, snap)
+		return snap, nil
+	})
+	if err != nil {
+		return maskedSnapshot{}, err
+	}
+	return got.(maskedSnapshot), nil
+}
+
+// evaluateQuery runs one parsed structural query against one execution
+// under the user's privacy constraints, serving the execution from the
+// masked-snapshot cache: a warm query allocates nothing for privacy
+// enforcement (no masker, no deep copy, no rewrite pass) — only the
+// evaluation itself.
+func (r *Repository) evaluateQuery(sh *shard, e *exec.Execution, q *query.Query, level privacy.Level) (*query.Answer, error) {
+	snap, err := r.maskedExecFor(sh, e, level)
 	if err != nil {
 		return nil, err
 	}
-	set := r.taintSetFor(sh, e, pol, polGen)
-	masked, rep := datapriv.NewMasker(pol, hierarchies).Engine().Apply(view, level, set)
-	r.countTaint(rep)
-	zoomed := len(access) < len(sh.hier.All())
+	r.countTaint(snap.rep)
 	ev := query.NewEvaluator(sh.spec)
-	return ev.EvaluatePrepared(q, masked, pol, level, zoomed)
+	return ev.EvaluateOn(q, snap.prep, snap.pol, level, snap.zoomed)
 }
 
 // Query evaluates a structural query (see query.Parse) against one
@@ -1261,8 +1360,10 @@ func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.L
 // taintSetFor returns the cached taint analysis of an execution under
 // the given policy generation, computing and caching it on miss. Fills
 // are deduplicated through the flight group; the polGen key makes sets
-// seeded under a replaced policy unreachable (see taintCacheKey).
-func (r *Repository) taintSetFor(sh *shard, e *exec.Execution, pol *privacy.Policy, polGen uint64) *taint.Set {
+// seeded under a replaced policy unreachable (see taintCacheKey). The
+// caller passes the shard's policy-scoped engine (analysis ignores its
+// generalizers), so no masker is constructed on this path.
+func (r *Repository) taintSetFor(sh *shard, e *exec.Execution, en *taint.Engine, polGen uint64) *taint.Set {
 	key := taintCacheKey{execID: e.ID, polGen: polGen}
 	if s, ok := sh.taints.Get(key); ok {
 		return s
@@ -1271,7 +1372,7 @@ func (r *Repository) taintSetFor(sh *shard, e *exec.Execution, pol *privacy.Poli
 		if s, ok := sh.taints.Peek(key); ok {
 			return s, nil
 		}
-		s := taint.NewEngine(pol, nil).Analyze(e)
+		s := en.Analyze(e)
 		sh.taints.Put(key, s)
 		return s, nil
 	})
@@ -1319,6 +1420,7 @@ func (r *Repository) ProvenanceWith(userName, specID, execID, itemID string, opt
 	pol := sh.policy
 	vs := sh.viewStore
 	hierarchies := sh.hierarchies
+	en := sh.engine
 	polGen := sh.polGen
 	sh.mu.RUnlock()
 	// Fast path: a materialized view at exactly this level (already
@@ -1338,24 +1440,34 @@ func (r *Repository) ProvenanceWith(userName, specID, execID, itemID string, opt
 			return exec.Provenance(v, itemID)
 		}
 	}
-	access := pol.AccessView(sh.hier, u.Level)
-	view, err := r.collapsedView(sh, e, u.Level, access, polGen)
+	if opts.DisableTaint {
+		// Debug escape hatch: attribute-local masking only, uncached (a
+		// nil taint set degrades the engine) — never worth a cache slot.
+		access := pol.AccessView(sh.hier, u.Level)
+		view, err := r.collapsedView(sh, e, u.Level, access, polGen)
+		if err != nil {
+			return nil, err
+		}
+		if view.Items[itemID] == nil {
+			return nil, fmt.Errorf("repo: item %s not visible at level %s: %w", itemID, u.Level, ErrDenied)
+		}
+		masked, rep := en.Apply(view, u.Level, nil)
+		r.countTaint(rep)
+		return exec.Provenance(masked, itemID)
+	}
+	// Enforced path: serve from the shared masked snapshot. Masking
+	// preserves the item set of the collapsed view, so visibility is
+	// checked on the snapshot itself; exec.Provenance only reads the
+	// snapshot and returns a fresh induced sub-execution.
+	snap, err := r.maskedExecFor(sh, e, u.Level)
 	if err != nil {
 		return nil, err
 	}
-	if view.Items[itemID] == nil {
+	if snap.prep.Exec.Items[itemID] == nil {
 		return nil, fmt.Errorf("repo: item %s not visible at level %s: %w", itemID, u.Level, ErrDenied)
 	}
-	// Apply the cached full-execution taint set to the collapsed view;
-	// a nil set degrades the engine to attribute-local masking (the
-	// DisableTaint escape hatch).
-	var set *taint.Set
-	if !opts.DisableTaint {
-		set = r.taintSetFor(sh, e, pol, polGen)
-	}
-	masked, rep := datapriv.NewMasker(pol, hierarchies).Engine().Apply(view, u.Level, set)
-	r.countTaint(rep)
-	return exec.Provenance(masked, itemID)
+	r.countTaint(snap.rep)
+	return exec.ProvenanceIn(snap.prep.Exec, snap.prep.Graph(), itemID)
 }
 
 // Stats summarizes repository contents and the health of its derived
@@ -1399,9 +1511,17 @@ type Stats struct {
 	TaintCacheHits   int64
 	TaintCacheMisses int64
 	TaintCache       map[string]TaintCacheStat
+
+	// MaskedCacheHits/MaskedCacheMisses aggregate the per-shard
+	// masked-snapshot LRUs, monotonic across shard removal exactly like
+	// the taint counters; MaskedCache breaks them out per live shard.
+	MaskedCacheHits   int64
+	MaskedCacheMisses int64
+	MaskedCache       map[string]TaintCacheStat
 }
 
-// TaintCacheStat is one shard's taint-set cache counters.
+// TaintCacheStat is one shard's cache hit/miss counter pair (used for
+// both the taint-set and masked-snapshot caches).
 type TaintCacheStat struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
@@ -1442,6 +1562,7 @@ func (r *Repository) Stats() Stats {
 	// the exported counters non-monotonic.
 	r.mu.RLock()
 	st.TaintCache = make(map[string]TaintCacheStat, len(r.shards))
+	st.MaskedCache = make(map[string]TaintCacheStat, len(r.shards))
 	for id, sh := range r.shards {
 		if sh.views != nil {
 			h, m := sh.views.Stats()
@@ -1454,11 +1575,19 @@ func (r *Repository) Stats() Stats {
 			st.TaintCacheMisses += m
 			st.TaintCache[id] = TaintCacheStat{Hits: h, Misses: m}
 		}
+		if sh.masked != nil {
+			h, m := sh.masked.Stats()
+			st.MaskedCacheHits += h
+			st.MaskedCacheMisses += m
+			st.MaskedCache[id] = TaintCacheStat{Hits: h, Misses: m}
+		}
 	}
 	st.ViewCacheHits += r.viewHitsBase.Load()
 	st.ViewCacheMisses += r.viewMissesBase.Load()
 	st.TaintCacheHits += r.taintHitsBase.Load()
 	st.TaintCacheMisses += r.taintMissesBase.Load()
+	st.MaskedCacheHits += r.maskedHitsBase.Load()
+	st.MaskedCacheMisses += r.maskedMissesBase.Load()
 	r.mu.RUnlock()
 	r.usersMu.RLock()
 	st.Users = len(r.users)

@@ -406,29 +406,36 @@ type statsBody struct {
 	TaintCacheHits   int64                          `json:"taint_cache_hits"`
 	TaintCacheMisses int64                          `json:"taint_cache_misses"`
 	TaintCache       map[string]repo.TaintCacheStat `json:"taint_cache,omitempty"`
+
+	MaskedCacheHits   int64                          `json:"masked_exec_cache_hits"`
+	MaskedCacheMisses int64                          `json:"masked_exec_cache_misses"`
+	MaskedCache       map[string]repo.TaintCacheStat `json:"masked_exec_cache,omitempty"`
 }
 
 func toStatsBody(st repo.Stats) statsBody {
 	return statsBody{
-		Specs:            st.Specs,
-		Executions:       st.Executions,
-		Users:            st.Users,
-		IndexTerms:       st.IndexTerms,
-		Postings:         st.Postings,
-		IndexSegments:    st.IndexSegments,
-		IndexSwaps:       st.IndexSwaps,
-		CacheHits:        st.CacheHits,
-		CacheMisses:      st.CacheMisses,
-		ViewCacheHits:    st.ViewCacheHits,
-		ViewCacheMisses:  st.ViewCacheMisses,
-		CorpusLevels:     st.CorpusLevels,
-		CorpusDeltas:     st.CorpusDeltas,
-		CorpusRebuilds:   st.CorpusRebuilds,
-		TaintRewritten:   st.TaintRewritten,
-		TaintRedacted:    st.TaintRedacted,
-		TaintCacheHits:   st.TaintCacheHits,
-		TaintCacheMisses: st.TaintCacheMisses,
-		TaintCache:       st.TaintCache,
+		Specs:             st.Specs,
+		Executions:        st.Executions,
+		Users:             st.Users,
+		IndexTerms:        st.IndexTerms,
+		Postings:          st.Postings,
+		IndexSegments:     st.IndexSegments,
+		IndexSwaps:        st.IndexSwaps,
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
+		ViewCacheHits:     st.ViewCacheHits,
+		ViewCacheMisses:   st.ViewCacheMisses,
+		CorpusLevels:      st.CorpusLevels,
+		CorpusDeltas:      st.CorpusDeltas,
+		CorpusRebuilds:    st.CorpusRebuilds,
+		TaintRewritten:    st.TaintRewritten,
+		TaintRedacted:     st.TaintRedacted,
+		TaintCacheHits:    st.TaintCacheHits,
+		TaintCacheMisses:  st.TaintCacheMisses,
+		TaintCache:        st.TaintCache,
+		MaskedCacheHits:   st.MaskedCacheHits,
+		MaskedCacheMisses: st.MaskedCacheMisses,
+		MaskedCache:       st.MaskedCache,
 	}
 }
 
@@ -470,6 +477,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("taint_items_redacted_total", "Items fully redacted because taint rewriting could not remove a leak.", st.TaintRedacted)
 	metric("taint_cache_hits_total", "Per-shard taint-set cache hits.", st.TaintCacheHits)
 	metric("taint_cache_misses_total", "Per-shard taint-set cache misses.", st.TaintCacheMisses)
+	metric("masked_exec_cache_hits_total", "Per-shard masked-execution snapshot cache hits.", st.MaskedCacheHits)
+	metric("masked_exec_cache_misses_total", "Per-shard masked-execution snapshot cache misses.", st.MaskedCacheMisses)
 	if _, err := io.WriteString(w, b.String()); err != nil && s.Logger != nil {
 		s.Logger.Printf("write metrics: %v", err)
 	}

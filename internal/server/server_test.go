@@ -618,21 +618,35 @@ func TestTaintMetricsMonotone(t *testing.T) {
 	redacted2 := scrapeMetric(t, ts, "provpriv_taint_items_redacted_total")
 	hits2 := scrapeMetric(t, ts, "provpriv_taint_cache_hits_total")
 	misses2 := scrapeMetric(t, ts, "provpriv_taint_cache_misses_total")
+	maskedHits := scrapeMetric(t, ts, "provpriv_masked_exec_cache_hits_total")
+	maskedMisses := scrapeMetric(t, ts, "provpriv_masked_exec_cache_misses_total")
 	if rewritten2 < rewritten1 || redacted2 < redacted1 || misses2 < misses1 {
 		t.Fatalf("taint counters regressed: rewritten %d→%d redacted %d→%d misses %d→%d",
 			rewritten1, rewritten2, redacted1, redacted2, misses1, misses2)
 	}
 	if rewritten2 == rewritten1 {
-		t.Fatal("repeat provenance did not rewrite again")
+		t.Fatal("repeat provenance did not replay the masking report")
 	}
-	if hits2 == 0 {
-		t.Fatal("repeat provenance did not hit the taint-set cache")
+	// Repeat provenance serves the cached masked snapshot: the taint-set
+	// cache is consulted only on the snapshot fill (its one miss above),
+	// while the masked-exec cache takes every warm request.
+	if hits2+misses2 == 0 {
+		t.Fatal("taint-set cache never consulted")
+	}
+	if maskedMisses == 0 {
+		t.Fatal("first provenance did not miss the masked-exec cache")
+	}
+	if maskedHits == 0 {
+		t.Fatal("repeat provenance did not hit the masked-exec cache")
 	}
 
 	var st struct {
-		TaintCacheHits   int64                          `json:"taint_cache_hits"`
-		TaintCacheMisses int64                          `json:"taint_cache_misses"`
-		TaintCache       map[string]repo.TaintCacheStat `json:"taint_cache"`
+		TaintCacheHits    int64                          `json:"taint_cache_hits"`
+		TaintCacheMisses  int64                          `json:"taint_cache_misses"`
+		TaintCache        map[string]repo.TaintCacheStat `json:"taint_cache"`
+		MaskedCacheHits   int64                          `json:"masked_exec_cache_hits"`
+		MaskedCacheMisses int64                          `json:"masked_exec_cache_misses"`
+		MaskedCache       map[string]repo.TaintCacheStat `json:"masked_exec_cache"`
 	}
 	if code := get(t, ts, "alice", "/api/v1/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats: %d", code)
@@ -641,8 +655,16 @@ func TestTaintMetricsMonotone(t *testing.T) {
 		t.Fatalf("stats/metrics disagree: hits %d vs %d, misses %d vs %d",
 			st.TaintCacheHits, hits2, st.TaintCacheMisses, misses2)
 	}
+	if st.MaskedCacheHits != maskedHits || st.MaskedCacheMisses != maskedMisses {
+		t.Fatalf("masked stats/metrics disagree: hits %d vs %d, misses %d vs %d",
+			st.MaskedCacheHits, maskedHits, st.MaskedCacheMisses, maskedMisses)
+	}
 	sh, ok := st.TaintCache["disease-susceptibility"]
 	if !ok || sh.Hits+sh.Misses == 0 {
 		t.Fatalf("per-shard taint cache stats missing: %+v", st.TaintCache)
+	}
+	msh, ok := st.MaskedCache["disease-susceptibility"]
+	if !ok || msh.Hits+msh.Misses == 0 {
+		t.Fatalf("per-shard masked cache stats missing: %+v", st.MaskedCache)
 	}
 }

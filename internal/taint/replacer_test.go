@@ -1,0 +1,354 @@
+package taint
+
+// Differential harness for the compiled sanitizer: the pre-compiled
+// implementation — one strings.Contains/ReplaceAll pass per protected
+// label — is preserved here as the executable specification, and the
+// Aho–Corasick replacer is required to be byte-identical to it across
+// the same randomized workflow corpus the leak property tests use, at
+// every access level, with and without generalization ladders.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/workload"
+)
+
+// referenceRewrite is the original per-label rewrite loop, verbatim.
+func referenceRewrite(en *Engine, v exec.Value, level privacy.Level, labels []Label) (exec.Value, bool, bool) {
+	if len(labels) == 0 {
+		return v, false, true
+	}
+	labels = dedupeLabels(labels)
+	s := string(v)
+	changed := false
+	for _, l := range labels {
+		raw := string(l.Raw)
+		if !strings.Contains(s, raw) {
+			continue
+		}
+		s = strings.ReplaceAll(s, raw, string(en.replacement(l, level)))
+		changed = true
+	}
+	for _, l := range labels {
+		if strings.Contains(s, string(l.Raw)) {
+			return v, changed, false
+		}
+	}
+	return exec.Value(s), changed, true
+}
+
+// referenceApply is the original Apply masking loop driving
+// referenceRewrite through Set.LabelsFor.
+func referenceApply(en *Engine, e *exec.Execution, level privacy.Level, set *Set) (map[string]exec.DataItem, Report) {
+	var rep Report
+	out := make(map[string]exec.DataItem, len(e.Items))
+	for id, it := range e.Items {
+		cp := *it
+		required := en.Policy.DataLevels[it.Attr]
+		labels := set.LabelsFor(id, level)
+		if level >= required {
+			v, changed, clean := referenceRewrite(en, it.Value, level, labels)
+			switch {
+			case !clean:
+				cp.Value, cp.Redacted = "", true
+				rep.TaintRedacted++
+			case changed:
+				cp.Value = v
+				rep.Rewritten++
+			default:
+				rep.Visible++
+			}
+			out[id] = cp
+			continue
+		}
+		if g := en.generalizer(it.Attr); g != nil {
+			gen := g.Generalize(it.Value, int(required-level))
+			if v, _, clean := referenceRewrite(en, gen, level, labels); clean {
+				cp.Value = v
+				rep.Generalized++
+				out[id] = cp
+				continue
+			}
+		}
+		cp.Value, cp.Redacted = "", true
+		rep.Redacted++
+		out[id] = cp
+	}
+	return out, rep
+}
+
+func diffOne(t *testing.T, tag string, en *Engine, e *exec.Execution, level privacy.Level) {
+	t.Helper()
+	set := en.Analyze(e)
+	masked, rep := en.Apply(e, level, set)
+	want, wantRep := referenceApply(en, e, level, set)
+	if rep != wantRep {
+		t.Errorf("%s @%s: report %+v, reference %+v", tag, level, rep, wantRep)
+	}
+	for id, w := range want {
+		got := masked.Items[id]
+		if got == nil {
+			t.Errorf("%s @%s: item %s missing from compiled output", tag, id, level)
+			continue
+		}
+		if got.Value != w.Value || got.Redacted != w.Redacted {
+			t.Errorf("%s @%s: item %s = (%q, redacted=%v), reference (%q, redacted=%v)",
+				tag, level, id, got.Value, got.Redacted, w.Value, w.Redacted)
+		}
+	}
+}
+
+func corpusRun(t testing.TB, seed int64) (*exec.Execution, *privacy.Policy) {
+	t.Helper()
+	s, err := workload.RandomSpec(workload.SpecConfig{
+		Seed: seed, Depth: 3, Fanout: 2, Chain: 4, SkipProb: 0.3,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: RandomSpec: %v", seed, err)
+	}
+	pol, err := workload.RandomPolicy(s, seed)
+	if err != nil {
+		t.Fatalf("seed %d: RandomPolicy: %v", seed, err)
+	}
+	inputs := workload.RandomInputs(s, seed)
+	attrs := make([]string, 0, len(inputs))
+	for a := range inputs {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	pol.DataLevels[attrs[0]] = privacy.Owner
+	e, err := exec.NewRunner(s, nil).Run("E", inputs)
+	if err != nil {
+		t.Fatalf("seed %d: Run: %v", seed, err)
+	}
+	return e, pol
+}
+
+// ladder is a minimal test Generalizer: every value coarsens to one
+// fixed form per depth.
+type ladder struct {
+	depth int
+	form  string
+}
+
+func (l ladder) Generalize(v exec.Value, depth int) exec.Value {
+	if depth <= 0 {
+		return v
+	}
+	return exec.Value(fmt.Sprintf("%s<%d>", l.form, min(depth, l.depth)))
+}
+
+func (l ladder) MaxDepth() int { return l.depth }
+
+var diffLevels = []privacy.Level{privacy.Public, privacy.Registered, privacy.Analyst, privacy.Owner}
+
+// TestCompiledSanitizerMatchesReference is the differential property
+// test of the acceptance criteria: across the randomized corpus, every
+// access level, with no generalizers and with a ladder on every
+// protected attribute, the compiled single-pass sanitizer produces
+// byte-identical values, redaction flags and reports to the sequential
+// per-label loop.
+func TestCompiledSanitizerMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		e, pol := corpusRun(t, seed)
+		plain := NewEngine(pol, nil)
+		gens := make(map[string]Generalizer)
+		for attr := range pol.DataLevels {
+			gens[attr] = ladder{depth: 3, form: "gen:" + attr}
+		}
+		laddered := NewEngine(pol, gens)
+		for _, lvl := range diffLevels {
+			diffOne(t, fmt.Sprintf("seed=%d/plain", seed), plain, e, lvl)
+			diffOne(t, fmt.Sprintf("seed=%d/ladder", seed), laddered, e, lvl)
+		}
+	}
+}
+
+// FuzzSanitizerDifferential extends the taint fuzz corpus to the
+// compiled/reference equivalence (the leak oracle itself is fuzzed by
+// FuzzTaintNoLeak in property_test.go, which now exercises the compiled
+// path end to end).
+func FuzzSanitizerDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(1))
+	f.Add(int64(42), uint8(2))
+	f.Add(int64(1001), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, lvl uint8) {
+		level := diffLevels[int(lvl)%len(diffLevels)]
+		e, pol := corpusRun(t, seed)
+		diffOne(t, fmt.Sprintf("fuzz seed=%d", seed), NewEngine(pol, nil), e, level)
+	})
+}
+
+// synthetic labels for automaton unit tests.
+func mkLabels(pairs ...[2]string) []Label {
+	out := make([]Label, 0, len(pairs))
+	for i, p := range pairs {
+		out = append(out, Label{
+			ItemID: fmt.Sprintf("d%d", i), Attr: p[0], Required: privacy.Owner, Raw: exec.Value(p[1]),
+		})
+	}
+	return out
+}
+
+func rewriteAll(r *Replacer, s string) (string, bool, bool) {
+	active := func(int32) bool { return true }
+	repl := func(p int32) string { return "[" + r.pats[p].attr + ":*]" }
+	return r.rewrite(s, len(r.pats), active, repl)
+}
+
+// rewriteAllAC forces the Aho–Corasick tier regardless of pattern count
+// (nActive only selects the tier; correctness must not depend on it).
+func rewriteAllAC(r *Replacer, s string) (string, bool, bool) {
+	active := func(int32) bool { return true }
+	repl := func(p int32) string { return "[" + r.pats[p].attr + ":*]" }
+	return r.rewrite(s, acThreshold+1, active, repl)
+}
+
+func TestReplacerLongestMatchWins(t *testing.T) {
+	r := compileReplacer(mkLabels([2]string{"a", "v1"}, [2]string{"b", "v12"}))
+	for tier, rw := range map[string]func(*Replacer, string) (string, bool, bool){
+		"index": rewriteAll, "ac": rewriteAllAC,
+	} {
+		// "v12" must win over its prefix "v1" where both start.
+		got, changed, clean := rw(r, "x=v12;y=v1;")
+		if want := "x=[b:*];y=[a:*];"; got != want || !changed || !clean {
+			t.Fatalf("%s: rewrite = (%q, %v, %v), want (%q, true, true)", tier, got, changed, clean, want)
+		}
+	}
+}
+
+func TestReplacerSuffixPatternViaOutLink(t *testing.T) {
+	// "12" only ever matches as a suffix of text the automaton reaches
+	// through the longer pattern's path — the output-link chain must
+	// surface it, and the vectorized tier must agree.
+	r := compileReplacer(mkLabels([2]string{"long", "xy12"}, [2]string{"short", "12"}))
+	for tier, rw := range map[string]func(*Replacer, string) (string, bool, bool){
+		"index": rewriteAll, "ac": rewriteAllAC,
+	} {
+		got, _, clean := rw(r, "a12b xy12 c")
+		if want := "a[short:*]b [long:*] c"; got != want || !clean {
+			t.Fatalf("%s: rewrite = (%q, clean=%v), want (%q, true)", tier, got, clean, want)
+		}
+		// And inside a *failed* long-pattern prefix: "xy1" then "2".
+		if got, _, _ := rw(r, "xy12"); got != "[long:*]" {
+			t.Fatalf("%s: rewrite(xy12) = %q", tier, got)
+		}
+	}
+}
+
+// TestReplacerOverlappingSelfMatches pins the step-by-one marking: an
+// equal-priority pattern pair where the second occurrence of one
+// overlaps the first's span must resolve identically in both tiers (and
+// to the sequential reference).
+func TestReplacerOverlappingSelfMatches(t *testing.T) {
+	r := compileReplacer(mkLabels([2]string{"a", "xa"}, [2]string{"b", "aa"}))
+	for tier, rw := range map[string]func(*Replacer, string) (string, bool, bool){
+		"index": rewriteAll, "ac": rewriteAllAC,
+	} {
+		got, _, clean := rw(r, "xaaa")
+		if want := "[a:*][b:*]"; got != want || !clean {
+			t.Fatalf("%s: rewrite(xaaa) = (%q, clean=%v), want %q", tier, got, clean, want)
+		}
+	}
+}
+
+func TestReplacerSameRawTwoAttrsPriority(t *testing.T) {
+	// Two labels share a raw; the attr-lexicographic first claims every
+	// occurrence, as sequential ReplaceAll did. If it is inactive, the
+	// second takes over.
+	r := compileReplacer(mkLabels([2]string{"beta", "v7"}, [2]string{"alpha", "v7"}))
+	got, _, _ := rewriteAll(r, "v7")
+	if got != "[alpha:*]" {
+		t.Fatalf("priority winner = %q, want [alpha:*]", got)
+	}
+	onlyBeta := func(p int32) bool { return r.pats[p].attr == "beta" }
+	for _, n := range []int{1, acThreshold + 1} {
+		got2, _, _ := r.rewrite("v7", n, onlyBeta, func(p int32) string { return "[" + r.pats[p].attr + ":*]" })
+		if got2 != "[beta:*]" {
+			t.Fatalf("fallback winner (nActive=%d) = %q, want [beta:*]", n, got2)
+		}
+	}
+}
+
+// TestReplacerTiersAgreeOnCorpus: both mark tiers produce identical
+// output on real trace strings with every pattern active.
+func TestReplacerTiersAgreeOnCorpus(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		e, pol := corpusRun(t, seed)
+		set := NewEngine(pol, nil).Analyze(e)
+		r := set.Replacer()
+		if r == nil || r.Patterns() == 0 {
+			continue
+		}
+		for _, id := range e.ItemIDs() {
+			v := string(e.Items[id].Value)
+			gi, ci, ki := rewriteAll(r, v)
+			ga, ca, ka := rewriteAllAC(r, v)
+			if gi != ga || ci != ca || ki != ka {
+				t.Fatalf("seed %d item %s: tiers disagree: index=(%q,%v,%v) ac=(%q,%v,%v)",
+					seed, id, gi, ci, ki, ga, ca, ka)
+			}
+		}
+	}
+}
+
+func TestReplacerVerifyRedactsSurvivingRaw(t *testing.T) {
+	// A replacement that embeds an active raw value (here: its own) must
+	// fail verification: the caller sees clean=false and the original
+	// value back, and redacts — never a partial leak. Same contract as
+	// the sequential loop's post-ReplaceAll Contains sweep.
+	r := compileReplacer(mkLabels([2]string{"a", "v1"}))
+	got, changed, clean := rewriteAll2(r, "only v1 here", "xv1y")
+	if clean || !changed || got != "only v1 here" {
+		t.Fatalf("rewrite = (%q, %v, clean=%v), want original + changed + unclean", got, changed, clean)
+	}
+	// An *inactive* pattern surviving in the output is fine — it is not
+	// protected for this viewer, and the reference loop never checked
+	// labels it was not given either.
+	r2 := compileReplacer(mkLabels([2]string{"a", "v1"}, [2]string{"b", "zz"}))
+	onlyA := func(p int32) bool { return r2.pats[p].attr == "a" }
+	got, _, clean = r2.rewrite("only v1 here", 1, onlyA, func(int32) string { return "zz" })
+	if !clean || got != "only zz here" {
+		t.Fatalf("inactive-pattern output = (%q, clean=%v), want (\"only zz here\", true)", got, clean)
+	}
+}
+
+func rewriteAll2(r *Replacer, s, repl string) (string, bool, bool) {
+	return r.rewrite(s, len(r.pats), func(int32) bool { return true }, func(int32) string { return repl })
+}
+
+func TestReplacerInactivePatternsUntouched(t *testing.T) {
+	r := compileReplacer(mkLabels([2]string{"a", "v1"}, [2]string{"b", "v2"}))
+	onlyA := func(p int32) bool { return r.pats[p].attr == "a" }
+	got, changed, clean := r.rewrite("v1 and v2", 1, onlyA, func(int32) string { return "[x]" })
+	if got != "[x] and v2" || !changed || !clean {
+		t.Fatalf("rewrite = (%q, %v, %v)", got, changed, clean)
+	}
+	got, changed, clean = r.rewrite("only v2", 1, onlyA, func(int32) string { return "[x]" })
+	if got != "only v2" || changed || !clean {
+		t.Fatalf("no-active-match fast path = (%q, %v, %v)", got, changed, clean)
+	}
+}
+
+func TestReplacerEmpty(t *testing.T) {
+	r := compileReplacer(nil)
+	if got, changed, clean := rewriteAll(r, "anything"); got != "anything" || changed || !clean {
+		t.Fatalf("empty replacer rewrote: (%q, %v, %v)", got, changed, clean)
+	}
+	if r.Patterns() != 0 {
+		t.Fatalf("Patterns = %d", r.Patterns())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

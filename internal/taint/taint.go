@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"provpriv/internal/exec"
 	"provpriv/internal/graph"
@@ -63,9 +64,63 @@ type Label struct {
 // id, the protected ancestors whose values may leak into it (including
 // the source item itself). A nil *Set applies no propagation —
 // sanitization degrades to attribute-local masking.
+//
+// A Set is immutable once Analyze returns and safe to share between
+// concurrent Apply calls — internal/repo caches one per (execution,
+// policy generation). The compiled sanitizer rides along: the automaton
+// over all protected raw values is built once here, not per request.
 type Set struct {
 	byItem map[string][]Label
 	labels int
+
+	// repl is the Aho–Corasick automaton compiled over every seed
+	// label's raw value; patIdx maps each item to the indices of the
+	// patterns that taint it. Both are nil when nothing is protected.
+	repl   *Replacer
+	patIdx map[string][]int32
+}
+
+// Replacer exposes the compiled multi-pattern sanitizer (nil when the
+// analysis found nothing to protect) — benchmarks and tests use it to
+// size their expectations.
+func (s *Set) Replacer() *Replacer {
+	if s == nil {
+		return nil
+	}
+	return s.repl
+}
+
+// compile builds the shared automaton from the seed labels and the
+// per-item pattern index lists from byItem. seed must contain every
+// label that appears in byItem.
+func (s *Set) compile(seed []Label) {
+	s.repl = compileReplacer(seed)
+	type key struct {
+		attr string
+		raw  string
+	}
+	idx := make(map[key]int32, len(s.repl.pats))
+	for i, p := range s.repl.pats {
+		idx[key{p.attr, p.raw}] = int32(i)
+	}
+	s.patIdx = make(map[string][]int32, len(s.byItem))
+	for id, labels := range s.byItem {
+		idxs := make([]int32, 0, len(labels))
+		for _, l := range labels {
+			pi := idx[key{l.Attr, string(l.Raw)}]
+			dup := false
+			for _, got := range idxs {
+				if got == pi {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				idxs = append(idxs, pi)
+			}
+		}
+		s.patIdx[id] = idxs
+	}
 }
 
 // LabelsFor returns the labels tainting an item that a viewer at the
@@ -177,14 +232,19 @@ func (en *Engine) Analyze(e *exec.Execution) *Set {
 		return set
 	}
 	g := e.Graph()
-	cl, err := graph.NewClosure(g)
+	// The closure's bitset arena is the analysis's big transient
+	// allocation; recycle it across Analyze calls.
+	cb := closurePool.Get().(*closureBuf)
+	cl, err := graph.NewClosureScratch(g, cb.words)
 	if err != nil {
+		closurePool.Put(cb)
 		// Validated executions are acyclic; if not, over-taint everything
 		// (privacy over utility).
 		for id := range e.Items {
 			set.byItem[id] = append([]Label(nil), labels...)
 			set.labels += len(labels)
 		}
+		set.compile(labels)
 		return set
 	}
 	itemsAt := e.ItemsByProducer()
@@ -200,8 +260,17 @@ func (en *Engine) Analyze(e *exec.Execution) *Set {
 			}
 		})
 	}
+	cb.words = cl.Scratch()
+	closurePool.Put(cb)
+	set.compile(labels)
 	return set
 }
+
+// closureBuf pools the word arenas backing per-analysis transitive
+// closures (see graph.NewClosureScratch).
+type closureBuf struct{ words []uint64 }
+
+var closurePool = sync.Pool{New: func() any { return new(closureBuf) }}
 
 // Sanitize is Analyze followed by Apply — the one-shot entry point for
 // masking an execution you hold in full.
@@ -233,15 +302,17 @@ func (en *Engine) Apply(e *exec.Execution, level privacy.Level, set *Set) (*exec
 			From: ed.From, To: ed.To, Items: append([]string(nil), ed.Items...),
 		})
 	}
+	ap := acquireApplier(en, set, level)
+	defer ap.release()
 	for id, it := range e.Items {
 		cp := *it
 		out.Items[id] = &cp
 		required := en.Policy.DataLevels[it.Attr]
-		labels := set.LabelsFor(id, level)
+		ap.activate(id)
 		if level >= required {
 			// Attribute visible at this level; embedded protected
 			// ancestors may still leak through the trace string.
-			v, changed, clean := en.rewrite(it.Value, level, labels)
+			v, changed, clean := ap.rewrite(it.Value)
 			switch {
 			case !clean:
 				cp.Value, cp.Redacted = "", true
@@ -261,7 +332,7 @@ func (en *Engine) Apply(e *exec.Execution, level privacy.Level, set *Set) (*exec
 		// output contains the item's own raw value).
 		if g := en.generalizer(it.Attr); g != nil {
 			gen := g.Generalize(it.Value, int(required-level))
-			if v, _, clean := en.rewrite(gen, level, labels); clean {
+			if v, _, clean := ap.rewrite(gen); clean {
 				cp.Value = v
 				rep.Generalized++
 				continue
@@ -273,34 +344,103 @@ func (en *Engine) Apply(e *exec.Execution, level privacy.Level, set *Set) (*exec
 	return out, rep
 }
 
-// rewrite replaces every embedded occurrence of a tainted raw value in v
-// with its replacement, then verifies no raw value survives. It returns
-// the rewritten value, whether anything changed, and whether the result
-// is provably leak-free; callers must redact when clean is false.
-func (en *Engine) rewrite(v exec.Value, level privacy.Level, labels []Label) (exec.Value, bool, bool) {
-	if len(labels) == 0 {
+// applier is the pooled per-Apply working state of the compiled
+// sanitizer: the active-pattern bitset for the item being masked, the
+// lazily filled per-level replacement table, and the two closures handed
+// to the automaton (created once per Apply, not per item).
+type applier struct {
+	en    *Engine
+	set   *Set
+	level privacy.Level
+
+	active  []uint64 // bitset over the replacer's patterns
+	marked  []int32  // bits set for the current item, for O(k) clearing
+	repl    []exec.Value
+	replSet []bool
+	n       int // active patterns for the current item
+
+	isActive func(int32) bool
+	replFor  func(int32) string
+}
+
+var applierPool = sync.Pool{New: func() any { return new(applier) }}
+
+func acquireApplier(en *Engine, set *Set, level privacy.Level) *applier {
+	ap := applierPool.Get().(*applier)
+	ap.en, ap.set, ap.level = en, set, level
+	nPats := 0
+	if set != nil && set.repl != nil {
+		nPats = len(set.repl.pats)
+	}
+	words := (nPats + 63) / 64
+	if cap(ap.active) < words {
+		ap.active = make([]uint64, words)
+	} else {
+		ap.active = ap.active[:words]
+		for i := range ap.active {
+			ap.active[i] = 0
+		}
+	}
+	if cap(ap.repl) < nPats {
+		ap.repl = make([]exec.Value, nPats)
+		ap.replSet = make([]bool, nPats)
+	} else {
+		ap.repl = ap.repl[:nPats]
+		ap.replSet = ap.replSet[:nPats]
+		for i := range ap.replSet {
+			ap.replSet[i] = false
+		}
+	}
+	ap.marked = ap.marked[:0]
+	if ap.isActive == nil {
+		ap.isActive = func(p int32) bool { return ap.active[p/64]&(1<<(uint(p)%64)) != 0 }
+		ap.replFor = func(p int32) string {
+			if !ap.replSet[p] {
+				pt := ap.set.repl.pats[p]
+				ap.repl[p] = ap.en.replacement(
+					Label{Attr: pt.attr, Raw: exec.Value(pt.raw), Required: pt.required}, ap.level)
+				ap.replSet[p] = true
+			}
+			return string(ap.repl[p])
+		}
+	}
+	return ap
+}
+
+func (ap *applier) release() {
+	ap.en, ap.set = nil, nil
+	applierPool.Put(ap)
+}
+
+// activate arms the patterns tainting the given item that the viewer's
+// level is not entitled to, clearing the previous item's first.
+func (ap *applier) activate(itemID string) {
+	for _, p := range ap.marked {
+		ap.active[p/64] &^= 1 << (uint(p) % 64)
+	}
+	ap.marked = ap.marked[:0]
+	ap.n = 0
+	if ap.set == nil || ap.set.repl == nil {
+		return
+	}
+	for _, p := range ap.set.patIdx[itemID] {
+		if ap.set.repl.pats[p].required > ap.level {
+			ap.active[p/64] |= 1 << (uint(p) % 64)
+			ap.marked = append(ap.marked, p)
+			ap.n++
+		}
+	}
+}
+
+// rewrite sanitizes one value against the currently activated patterns.
+// Same contract as the replacer's rewrite; items with no active pattern
+// short-circuit without touching the automaton.
+func (ap *applier) rewrite(v exec.Value) (exec.Value, bool, bool) {
+	if ap.n == 0 {
 		return v, false, true
 	}
-	labels = dedupeLabels(labels)
-	s := string(v)
-	changed := false
-	for _, l := range labels {
-		raw := string(l.Raw)
-		if !strings.Contains(s, raw) {
-			continue
-		}
-		s = strings.ReplaceAll(s, raw, string(en.replacement(l, level)))
-		changed = true
-	}
-	// Prove the leak is gone: a replacement may itself contain another
-	// label's raw value (or, pathologically, its own). If any raw
-	// survives, rewriting failed and the caller redacts the whole value.
-	for _, l := range labels {
-		if strings.Contains(s, string(l.Raw)) {
-			return v, changed, false
-		}
-	}
-	return exec.Value(s), changed, true
+	out, changed, clean := ap.set.repl.rewrite(string(v), ap.n, ap.isActive, ap.replFor)
+	return exec.Value(out), changed, clean
 }
 
 // replacement is the stand-in for one tainted value: the generalization
