@@ -1,8 +1,9 @@
 // Command provserve serves a provenance repository over HTTP: the
 // multi-tenant front door to the sharded query engine. It loads a
 // repository directory produced by provgen (or the built-in paper
-// example), registers one user per access level, and exposes the JSON
-// API of internal/server.
+// example, or starts empty), registers one user per access level, and
+// exposes the JSON API of internal/server — reads and, with a token
+// file, the authenticated mutation surface.
 //
 // Serve the built-in example:
 //
@@ -13,13 +14,25 @@
 //	provserve -data ./provdata -addr :8080 -user analyst1=2 -user owner1=3
 //
 // Query it (the X-Prov-User header names the principal; ?user= works
-// for curl convenience):
+// for curl convenience). Without a token file, header principals are
+// fully trusted — dev mode only:
 //
 //	curl -H 'X-Prov-User: owner' 'localhost:8080/api/v1/search?q=database'
 //	curl 'localhost:8080/api/v1/provenance?user=public&spec=disease-susceptibility&exec=E1&item=d18'
+//
+// Production: generate a token file (see internal/auth for the format;
+// `provserve -hash-secret` turns a secret into the stored digest) and
+// start with -token-file. Header auth is then rejected — clients send
+// `Authorization: Bearer <secret>` — and mutations flow:
+//
+//	printf %s "$SECRET" | provserve -hash-secret
+//	provserve -data ./provdata -token-file ./tokens
+//	curl -X POST -H "Authorization: Bearer $SECRET" -d @spec.json \
+//	  'localhost:8080/api/v1/specs'
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -27,11 +40,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"provpriv/internal/auth"
 	"provpriv/internal/exec"
 	"provpriv/internal/privacy"
 	"provpriv/internal/repo"
@@ -61,14 +76,52 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("provserve: ")
 	addr := flag.String("addr", ":8080", "listen address")
-	data := flag.String("data", "", "repository directory from provgen or repo.Save")
+	data := flag.String("data", "", "repository directory from provgen or repo.Save (missing manifest starts empty)")
 	example := flag.Bool("example", false, "serve the built-in paper example instead of -data")
 	workers := flag.Int("workers", 0, "fan-out pool size (0 = GOMAXPROCS)")
 	allowTaintOff := flag.Bool("allow-taint-off", false,
 		"honor the provenance taint=off debug parameter (reopens the embedded-trace-value leak; never enable on a shared deployment)")
+	tokenFile := flag.String("token-file", "",
+		"bearer-token file (name:role:user:sha256hex per line); configuring it disables the trusted X-Prov-User header")
+	allowHeaderAuth := flag.Bool("allow-header-auth", false,
+		"with -token-file, keep accepting X-Prov-User header principals as read-only (migration bridge)")
+	saveDir := flag.String("save-dir", "",
+		"directory POST /api/v1/save persists to (default: the -data directory; empty disables the endpoint)")
+	hashSecret := flag.Bool("hash-secret", false,
+		"read a secret from stdin, print its token-file digest, and exit")
+	newToken := flag.String("new-token", "",
+		"generate a random secret for NAME:ROLE:USER, print the secret and the token-file line, and exit")
 	var users userFlags
 	flag.Var(&users, "user", "register a user as NAME=LEVEL (repeatable)")
 	flag.Parse()
+
+	if *hashSecret {
+		sc := bufio.NewScanner(os.Stdin)
+		if !sc.Scan() {
+			log.Fatal("hash-secret: no input on stdin")
+		}
+		fmt.Println(auth.HashSecret(strings.TrimSpace(sc.Text())))
+		return
+	}
+	if *newToken != "" {
+		// The secure path made easy: a fresh 256-bit secret plus the
+		// ready-to-append token-file line. The secret is printed once,
+		// to stdout, and never stored.
+		parts := strings.Split(*newToken, ":")
+		if len(parts) != 3 {
+			log.Fatalf("new-token: want NAME:ROLE:USER, got %q", *newToken)
+		}
+		if _, err := auth.ParseRole(parts[1]); err != nil {
+			log.Fatalf("new-token: %v", err)
+		}
+		secret, err := auth.NewSecret()
+		if err != nil {
+			log.Fatalf("new-token: %v", err)
+		}
+		fmt.Printf("secret: %s\ntoken-file line: %s:%s:%s:%s\n",
+			secret, parts[0], parts[1], parts[2], auth.HashSecret(secret))
+		return
+	}
 
 	var r *repo.Repository
 	switch {
@@ -76,9 +129,16 @@ func main() {
 		r = repo.New()
 		loadExample(r)
 	case *data != "":
-		var err error
-		if r, err = repo.Load(*data); err != nil {
-			log.Fatalf("load %s: %v", *data, err)
+		if _, err := os.Stat(filepath.Join(*data, "manifest.json")); os.IsNotExist(err) {
+			// A fresh directory: start empty — the mutation endpoints
+			// fill it and POST /api/v1/save creates the manifest.
+			log.Printf("no manifest in %s: starting empty repository", *data)
+			r = repo.New()
+		} else {
+			var err error
+			if r, err = repo.Load(*data); err != nil {
+				log.Fatalf("load %s: %v", *data, err)
+			}
 		}
 	default:
 		log.Fatal("need -data DIR or -example")
@@ -103,6 +163,27 @@ func main() {
 	srv := server.New(r)
 	srv.Logger = log.Default()
 	srv.AllowDisableTaint = *allowTaintOff
+	if *tokenFile != "" {
+		a, err := auth.LoadFile(*tokenFile)
+		if err != nil {
+			log.Fatalf("token file: %v", err)
+		}
+		srv.Auth = a
+		srv.AllowHeaderAuth = *allowHeaderAuth
+		mode := "bearer tokens only"
+		if *allowHeaderAuth {
+			mode = "bearer tokens + read-only header principals"
+		}
+		log.Printf("authn: %s (%d tokens)", mode, len(a.Stats()))
+	} else {
+		log.Print("authn: trusted X-Prov-User headers (dev mode; use -token-file in production)")
+	}
+	switch {
+	case *saveDir != "":
+		srv.SaveDir = *saveDir
+	case *data != "":
+		srv.SaveDir = *data
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

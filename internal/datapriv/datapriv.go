@@ -35,10 +35,12 @@ import (
 // identity; each subsequent level maps values to coarser categories
 // (e.g. exact age → age bracket → "adult"). Values missing from a level
 // map generalize to the level's Other value.
+// The JSON tags are the wire shape of PUT /api/v1/generalization
+// (internal/server); ladders are not otherwise persisted.
 type Hierarchy struct {
-	Attr   string
-	Levels []map[exec.Value]exec.Value
-	Other  exec.Value // fallback for unmapped values; default "*"
+	Attr   string                      `json:"attr"`
+	Levels []map[exec.Value]exec.Value `json:"levels"`
+	Other  exec.Value                  `json:"other,omitempty"` // fallback for unmapped values; default "*"
 }
 
 // Generalize coarsens v to the given depth. Depth 0 returns v; depths

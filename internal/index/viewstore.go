@@ -60,9 +60,14 @@ func NewViewStore() *ViewStore {
 	}
 }
 
-// RegisterSpec declares a spec, its policy, and the access levels whose
-// views should be materialized for its executions.
-func (vs *ViewStore) RegisterSpec(s *workflow.Spec, pol *privacy.Policy, levels []privacy.Level) error {
+// RegisterSpec declares a spec, its policy, its generalization ladders
+// (nil for redaction-only masking) and the access levels whose views
+// should be materialized for its executions. The ladders feed the
+// spec's masking engine, so materialized views generalize protected
+// values exactly like the on-the-fly snapshot path — the two serving
+// paths must never diverge on masking output (the repo parity tests pin
+// view == snapshot per level).
+func (vs *ViewStore) RegisterSpec(s *workflow.Spec, pol *privacy.Policy, hs map[string]*datapriv.Hierarchy, levels []privacy.Level) error {
 	h, err := workflow.NewHierarchy(s)
 	if err != nil {
 		return err
@@ -77,7 +82,7 @@ func (vs *ViewStore) RegisterSpec(s *workflow.Spec, pol *privacy.Policy, levels 
 	vs.specs[s.ID] = s
 	vs.pols[s.ID] = pol
 	vs.hiers[s.ID] = h
-	vs.engines[s.ID] = datapriv.NewMasker(pol, nil).Engine()
+	vs.engines[s.ID] = datapriv.NewMasker(pol, hs).Engine()
 	vs.levels[s.ID] = ls
 	return nil
 }

@@ -3,6 +3,7 @@ package index
 import (
 	"testing"
 
+	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
 	"provpriv/internal/privacy"
 	"provpriv/internal/workflow"
@@ -16,7 +17,7 @@ func storeFixture(t *testing.T) (*ViewStore, *exec.Execution) {
 	pol.ViewGrants[privacy.Registered] = []string{"W2"}
 	pol.ViewGrants[privacy.Analyst] = []string{"W3", "W4"}
 	vs := NewViewStore()
-	if err := vs.RegisterSpec(s, pol, []privacy.Level{privacy.Public, privacy.Registered, privacy.Analyst}); err != nil {
+	if err := vs.RegisterSpec(s, pol, nil, []privacy.Level{privacy.Public, privacy.Registered, privacy.Analyst}); err != nil {
 		t.Fatalf("RegisterSpec: %v", err)
 	}
 	e, err := exec.NewRunner(s, nil).Run("E1", map[string]exec.Value{
@@ -82,6 +83,58 @@ func TestViewStoreGetAtOrBelow(t *testing.T) {
 	v, lvl = vs.GetAtOrBelow(e.SpecID, e.ID, privacy.Registered)
 	if v == nil || lvl != privacy.Registered {
 		t.Fatalf("exact = %v at %v", v, lvl)
+	}
+}
+
+// TestViewStoreGeneralizes: with ladders registered, materialized views
+// coarsen protected values instead of redacting them — the same output
+// the masked-snapshot path produces (repo-level parity tests compare
+// the two byte-for-byte).
+func TestViewStoreGeneralizes(t *testing.T) {
+	s := workflow.DiseaseSusceptibility()
+	pol := privacy.NewPolicy(s.ID)
+	pol.DataLevels["snps"] = privacy.Owner
+	pol.ViewGrants[privacy.Analyst] = []string{"W2", "W3", "W4"}
+	hs := map[string]*datapriv.Hierarchy{
+		"snps": {Attr: "snps", Levels: []map[exec.Value]exec.Value{
+			{"rs1": "chr1"},
+			{"chr1": "genome"},
+		}},
+	}
+	vs := NewViewStore()
+	if err := vs.RegisterSpec(s, pol, hs, []privacy.Level{privacy.Public, privacy.Analyst}); err != nil {
+		t.Fatalf("RegisterSpec: %v", err)
+	}
+	e, err := exec.NewRunner(s, nil).Run("E1", map[string]exec.Value{
+		"snps": "rs1", "ethnicity": "eth1", "lifestyle": "active",
+		"family_history": "fh1", "symptoms": "none",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := vs.Materialize(e); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	// Analyst is one level below Owner: one generalization step.
+	an := vs.Get(e.SpecID, e.ID, privacy.Analyst)
+	found := false
+	for _, it := range an.Items {
+		if it.Attr == "snps" {
+			found = true
+			if it.Redacted || it.Value != "chr1" {
+				t.Fatalf("analyst snps = %+v, want generalized chr1", it)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("snps item missing from analyst view")
+	}
+	// Public is two levels below: the ladder tops out at genome.
+	pub := vs.Get(e.SpecID, e.ID, privacy.Public)
+	for _, it := range pub.Items {
+		if it.Attr == "snps" && (it.Redacted || it.Value != "genome") {
+			t.Fatalf("public snps = %+v, want generalized genome", it)
+		}
 	}
 }
 

@@ -1,0 +1,81 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/workflow"
+	"provpriv/internal/workload"
+)
+
+// TestPreparedExecIndexParity pins the PreparedExec id indexes to the
+// linear-scan reference implementations they replaced on the warm path:
+// Execution.Node for node resolution, and the producedBy/flowingFrom
+// free functions (kept in this package as the executable spec) for
+// return-item resolution. Any divergence is a bug in the index build.
+func TestPreparedExecIndexParity(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		s, err := workload.RandomSpec(workload.SpecConfig{
+			Seed: seed, ID: fmt.Sprintf("s%d", seed), Depth: 3, Fanout: 2, Chain: 4, SkipProb: 0.2,
+		})
+		if err != nil {
+			t.Fatalf("RandomSpec: %v", err)
+		}
+		e, err := exec.NewRunner(s, nil).Run("E", workload.RandomInputs(s, seed))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		pe, err := PrepareExec(e)
+		if err != nil {
+			t.Fatalf("PrepareExec: %v", err)
+		}
+		for _, n := range e.Nodes {
+			if got := pe.Node(n.ID); got != n {
+				t.Fatalf("seed %d: pe.Node(%s) = %p, want %p", seed, n.ID, got, n)
+			}
+			if got, want := fmt.Sprint(pe.producedBy[n.ID]), fmt.Sprint(producedBy(e, n.ID)); got != want {
+				t.Fatalf("seed %d: producedBy(%s): %s != %s", seed, n.ID, got, want)
+			}
+			if got, want := fmt.Sprint(pe.flowsFrom[n.ID]), fmt.Sprint(flowingFrom(e, n.ID)); got != want {
+				t.Fatalf("seed %d: flowsFrom(%s): %s != %s", seed, n.ID, got, want)
+			}
+			ref := producedBy(e, n.ID)
+			if len(ref) == 0 {
+				ref = flowingFrom(e, n.ID)
+			}
+			if got := fmt.Sprint(pe.returnItems(n.ID)); got != fmt.Sprint(ref) {
+				t.Fatalf("seed %d: returnItems(%s): %s != %s", seed, n.ID, got, ref)
+			}
+		}
+		if pe.Node("no-such-node") != nil {
+			t.Fatal("unknown id resolved")
+		}
+	}
+}
+
+// TestPreparedExecIndexOnDiseaseExample covers the fixture spec, whose
+// begin/end composite relay nodes exercise the flowsFrom fallback.
+func TestPreparedExecIndexOnDiseaseExample(t *testing.T) {
+	s := workflow.DiseaseSusceptibility()
+	e, err := exec.NewRunner(s, nil).Run("E1", map[string]exec.Value{
+		"snps": "rs1", "ethnicity": "eth1", "lifestyle": "active",
+		"family_history": "fh1", "symptoms": "none",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	pe, err := PrepareExec(e)
+	if err != nil {
+		t.Fatalf("PrepareExec: %v", err)
+	}
+	relays := 0
+	for _, n := range e.Nodes {
+		if n.Kind == exec.BeginNode && len(pe.producedBy[n.ID]) == 0 && len(pe.flowsFrom[n.ID]) > 0 {
+			relays++
+		}
+	}
+	if relays == 0 {
+		t.Fatal("no relay node exercised the flowsFrom fallback")
+	}
+}

@@ -147,32 +147,98 @@ func phraseMatchesModule(m *workflow.Module, phrase []string) bool {
 	return true
 }
 
-// PreparedExec bundles an execution with its derived graph and
-// transitive closure, built once. The execution MUST be immutable for
-// the lifetime of the PreparedExec: internal/repo builds one per cached
-// masked snapshot and shares it between arbitrarily many concurrent
-// evaluations, which is sound only because neither the evaluator nor
-// any other read path mutates the execution, the graph or the closure.
+// PreparedExec bundles an execution with its derived graph, transitive
+// closure and id-addressed indexes, all built once. The execution MUST
+// be immutable for the lifetime of the PreparedExec: internal/repo
+// builds one per cached masked snapshot and shares it between
+// arbitrarily many concurrent evaluations, which is sound only because
+// neither the evaluator nor any other read path mutates the execution,
+// the graph, the closure or the index maps.
+//
+// The indexes exist because exec.Execution deliberately lost its lazily
+// memoized node index in PR 4 (memoizing inside a shared immutable
+// value races); Execution.Node is a linear scan by contract. Building
+// the maps here — at snapshot-fill time, exactly once — restores O(1)
+// id resolution on every warm read without reintroducing hidden mutable
+// state into the shared execution.
 type PreparedExec struct {
 	Exec *exec.Execution
 	g    *graph.Graph
 	cl   *graph.Closure
+
+	// nodeByID resolves node ids without Execution.Node's linear scan.
+	nodeByID map[string]*exec.Node
+	// producedBy maps a node id to the sorted ids of the items it
+	// produced (the per-binding scan of ReturnProvenance/ReturnDownstream
+	// made O(1)).
+	producedBy map[string][]string
+	// flowsFrom maps a node id to the sorted distinct item ids on its
+	// outgoing edges (the relay-node fallback of the same return paths).
+	flowsFrom map[string][]string
 }
 
-// PrepareExec derives the graph and closure of an (immutable) execution
-// so repeated evaluations skip both rebuilds.
+// PrepareExec derives the graph, closure and id indexes of an
+// (immutable) execution so repeated evaluations skip every rebuild.
 func PrepareExec(e *exec.Execution) (*PreparedExec, error) {
 	g := e.Graph()
 	cl, err := graph.NewClosure(g)
 	if err != nil {
 		return nil, fmt.Errorf("query: execution graph: %w", err)
 	}
-	return &PreparedExec{Exec: e, g: g, cl: cl}, nil
+	pe := &PreparedExec{
+		Exec:       e,
+		g:          g,
+		cl:         cl,
+		nodeByID:   make(map[string]*exec.Node, len(e.Nodes)),
+		producedBy: make(map[string][]string),
+		flowsFrom:  make(map[string][]string),
+	}
+	for _, n := range e.Nodes {
+		pe.nodeByID[n.ID] = n
+	}
+	for id, it := range e.Items {
+		pe.producedBy[it.Producer] = append(pe.producedBy[it.Producer], id)
+	}
+	for _, ids := range pe.producedBy {
+		sort.Strings(ids)
+	}
+	seen := make(map[string]map[string]bool)
+	for _, ed := range e.Edges {
+		set := seen[ed.From]
+		if set == nil {
+			set = make(map[string]bool)
+			seen[ed.From] = set
+		}
+		for _, it := range ed.Items {
+			if !set[it] {
+				set[it] = true
+				pe.flowsFrom[ed.From] = append(pe.flowsFrom[ed.From], it)
+			}
+		}
+	}
+	for _, ids := range pe.flowsFrom {
+		sort.Strings(ids)
+	}
+	return pe, nil
 }
 
 // Graph exposes the pre-derived graph for read-only reuse (e.g.
 // exec.ProvenanceIn on the warm serving path).
 func (pe *PreparedExec) Graph() *graph.Graph { return pe.g }
+
+// Node resolves a node id through the prebuilt index — the O(1)
+// replacement for Execution.Node on warm request paths.
+func (pe *PreparedExec) Node(id string) *exec.Node { return pe.nodeByID[id] }
+
+// returnItems resolves the items a return clause materializes for a
+// bound node: the items it produced, or — for relay (begin/collapsed)
+// nodes that produce nothing — the items on its outgoing edges.
+func (pe *PreparedExec) returnItems(nodeID string) []string {
+	if items := pe.producedBy[nodeID]; len(items) > 0 {
+		return items
+	}
+	return pe.flowsFrom[nodeID]
+}
 
 // Evaluate runs the query against an execution with no privacy
 // constraints.
@@ -234,6 +300,24 @@ func (ev *Evaluator) EvaluateOn(q *Query, pe *PreparedExec, pol *privacy.Policy,
 }
 
 func (ev *Evaluator) evaluate(q *Query, pe *PreparedExec, pol *privacy.Policy, level privacy.Level, zoomed bool) (*Answer, error) {
+	ans, err := ev.MatchOn(q, pe, pol, level, zoomed)
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.MaterializeReturn(q, ans, pe); err != nil {
+		return nil, err
+	}
+	return ans, nil
+}
+
+// MatchOn runs only the binding phase of a query — candidate selection
+// and constraint backtracking — leaving the return clause (provenance /
+// downstream sub-executions) unmaterialized. Callers that need to know
+// *whether and where* a query matches, but will discard most answers
+// (QueryAllPage windows by execution), use this to avoid building
+// sub-executions that are thrown away; MaterializeReturn completes the
+// surviving answers.
+func (ev *Evaluator) MatchOn(q *Query, pe *PreparedExec, pol *privacy.Policy, level privacy.Level, zoomed bool) (*Answer, error) {
 	if len(q.Vars) == 0 {
 		return nil, fmt.Errorf("query: no variables")
 	}
@@ -295,8 +379,16 @@ func (ev *Evaluator) evaluate(q *Query, pe *PreparedExec, pol *privacy.Policy, l
 		}
 	}
 	assign(0, make(Binding))
+	return ans, nil
+}
 
-	// Materialize the return clause.
+// MaterializeReturn completes an answer produced by MatchOn: it fills
+// in the return clause (nodes, provenance sub-executions, downstream
+// item sets) against the same prepared execution. Item resolution per
+// binding goes through the PreparedExec indexes, so no step here is
+// linear in execution size beyond the sub-graphs actually returned.
+func (ev *Evaluator) MaterializeReturn(q *Query, ans *Answer, pe *PreparedExec) error {
+	e, g := pe.Exec, pe.g
 	switch q.Return {
 	case ReturnNodes:
 		set := make(map[string]bool)
@@ -311,34 +403,23 @@ func (ev *Evaluator) evaluate(q *Query, pe *PreparedExec, pol *privacy.Policy, l
 		sort.Strings(ans.Nodes)
 	case ReturnProvenance:
 		for _, b := range ans.Bindings {
-			node := b[q.ReturnVar]
-			items := producedBy(e, node)
-			if len(items) == 0 {
-				// A relay (begin/collapsed) node: take items on its
-				// outgoing edges instead.
-				items = flowingFrom(e, node)
-			}
+			items := pe.returnItems(b[q.ReturnVar])
 			if len(items) == 0 {
 				continue
 			}
 			p, err := exec.ProvenanceIn(e, g, items[0])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ans.Provenance = append(ans.Provenance, p)
 		}
 	case ReturnDownstream:
 		for _, b := range ans.Bindings {
-			node := b[q.ReturnVar]
-			items := producedBy(e, node)
-			if len(items) == 0 {
-				items = flowingFrom(e, node)
-			}
 			set := make(map[string]bool)
-			for _, it := range items {
+			for _, it := range pe.returnItems(b[q.ReturnVar]) {
 				down, err := exec.DownstreamIn(e, g, it)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				for _, d := range down {
 					set[d] = true
@@ -352,9 +433,12 @@ func (ev *Evaluator) evaluate(q *Query, pe *PreparedExec, pol *privacy.Policy, l
 			ans.Downstream = append(ans.Downstream, ds)
 		}
 	}
-	return ans, nil
+	return nil
 }
 
+// producedBy and flowingFrom are the linear-scan reference
+// implementations of the PreparedExec return-item indexes; they are kept
+// as the executable spec TestPreparedExecIndexParity checks against.
 func producedBy(e *exec.Execution, nodeID string) []string {
 	var out []string
 	for id, it := range e.Items {

@@ -1,9 +1,11 @@
 package repo
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
 	"provpriv/internal/privacy"
 	"provpriv/internal/workflow"
@@ -90,6 +92,158 @@ func TestMaterializationHidesInternalItems(t *testing.T) {
 	}
 	if _, err := r.Provenance("bob", "disease-susceptibility", "E1", internalID); err == nil {
 		t.Fatal("internal item visible through materialized view")
+	}
+}
+
+// snpsLadder is the generalization fixture of the parity tests: rs1 →
+// chr1 → genome.
+func snpsLadder() map[string]*datapriv.Hierarchy {
+	return map[string]*datapriv.Hierarchy{
+		"snps": {Attr: "snps", Levels: []map[exec.Value]exec.Value{
+			{"rs1": "chr1"},
+			{"chr1": "genome"},
+		}},
+	}
+}
+
+// allLevels are the access levels the parity sweep materializes.
+var allLevels = []privacy.Level{privacy.Public, privacy.Registered, privacy.Analyst, privacy.Owner}
+
+// assertViewSnapshotParity compares, for every materialized level, the
+// view store's output with the masked-snapshot cache's output for the
+// same execution: identical node sets and byte-identical item values /
+// redaction flags. This is the regression test for the masking-parity
+// bug where materialized views redacted where the taint/snapshot path
+// generalized.
+func assertViewSnapshotParity(t *testing.T, r *Repository, specID, execID string) {
+	t.Helper()
+	sh := r.shard(specID)
+	if sh == nil {
+		t.Fatalf("no shard for %s", specID)
+	}
+	sh.mu.RLock()
+	e := sh.execs[execID]
+	vs := sh.viewStore
+	sh.mu.RUnlock()
+	if e == nil || vs == nil {
+		t.Fatalf("missing execution %s or view store", execID)
+	}
+	for _, lvl := range allLevels {
+		view := vs.Get(specID, execID, lvl)
+		if view == nil {
+			t.Fatalf("level %v: no materialized view", lvl)
+		}
+		snap, err := r.maskedExecFor(sh, e, lvl)
+		if err != nil {
+			t.Fatalf("level %v: maskedExecFor: %v", lvl, err)
+		}
+		want := snap.prep.Exec
+		if got, wantIDs := fmt.Sprint(view.NodeIDs()), fmt.Sprint(want.NodeIDs()); got != wantIDs {
+			t.Fatalf("level %v: node sets differ:\nview:     %s\nsnapshot: %s", lvl, got, wantIDs)
+		}
+		if len(view.Items) != len(want.Items) {
+			t.Fatalf("level %v: item counts differ: %d vs %d", lvl, len(view.Items), len(want.Items))
+		}
+		for id, it := range view.Items {
+			wit := want.Items[id]
+			if wit == nil {
+				t.Fatalf("level %v: item %s only in view", lvl, id)
+			}
+			if it.Redacted != wit.Redacted || it.Value != wit.Value {
+				t.Fatalf("level %v item %s: view %+v != snapshot %+v — materialized masking diverged",
+					lvl, id, it, wit)
+			}
+		}
+	}
+}
+
+// TestViewSnapshotMaskingParity: with generalization ladders installed,
+// materialized views must generalize exactly like the masked-snapshot
+// path at every privacy level — in both mutation orders (ladders before
+// materialization, and ladders installed into an already-materialized
+// repository, which rebuilds the view stores).
+func TestViewSnapshotMaskingParity(t *testing.T) {
+	t.Run("generalize-then-materialize", func(t *testing.T) {
+		r := seededRepo(t)
+		if err := r.SetGeneralization("disease-susceptibility", snpsLadder()); err != nil {
+			t.Fatalf("SetGeneralization: %v", err)
+		}
+		if err := r.EnableMaterialization(allLevels); err != nil {
+			t.Fatalf("EnableMaterialization: %v", err)
+		}
+		assertViewSnapshotParity(t, r, "disease-susceptibility", "E1")
+	})
+	t.Run("materialize-then-generalize", func(t *testing.T) {
+		r := seededRepo(t)
+		if err := r.EnableMaterialization(allLevels); err != nil {
+			t.Fatalf("EnableMaterialization: %v", err)
+		}
+		if err := r.SetGeneralization("disease-susceptibility", snpsLadder()); err != nil {
+			t.Fatalf("SetGeneralization: %v", err)
+		}
+		assertViewSnapshotParity(t, r, "disease-susceptibility", "E1")
+	})
+	t.Run("no-ladders", func(t *testing.T) {
+		// Redaction-only policies must agree too (the pre-existing case).
+		r := seededRepo(t)
+		if err := r.EnableMaterialization(allLevels); err != nil {
+			t.Fatalf("EnableMaterialization: %v", err)
+		}
+		assertViewSnapshotParity(t, r, "disease-susceptibility", "E1")
+	})
+}
+
+// TestMaterializedGeneralizedProvenance is the end-to-end shape of the
+// parity bug: with ladders AND materialization on, a below-level user's
+// provenance must carry the generalized value — served from the view
+// store fast path — not a redaction, and must equal the answer of an
+// unmaterialized repository.
+func TestMaterializedGeneralizedProvenance(t *testing.T) {
+	plain := seededRepo(t)
+	mat := seededRepo(t)
+	for _, r := range []*Repository{plain, mat} {
+		if err := r.SetGeneralization("disease-susceptibility", snpsLadder()); err != nil {
+			t.Fatalf("SetGeneralization: %v", err)
+		}
+	}
+	if err := mat.EnableMaterialization(allLevels); err != nil {
+		t.Fatalf("EnableMaterialization: %v", err)
+	}
+	e := plain.execution("disease-susceptibility", "E1")
+	var progID, snpID string
+	for id, it := range e.Items {
+		switch it.Attr {
+		case "prognosis":
+			progID = id
+		case "snps":
+			snpID = id
+		}
+	}
+	for _, user := range []string{"bob", "carol", "alice"} {
+		a, errA := plain.Provenance(user, "disease-susceptibility", "E1", progID)
+		b, errB := mat.Provenance(user, "disease-susceptibility", "E1", progID)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", user, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		for id, it := range a.Items {
+			bit := b.Items[id]
+			if bit == nil || bit.Redacted != it.Redacted || bit.Value != it.Value {
+				t.Fatalf("%s: item %s differs: %+v vs %+v", user, id, it, bit)
+			}
+		}
+	}
+	// The materialized fast path itself generalizes: carol (analyst, one
+	// level short of owner) sees chr1, not a redaction.
+	prov, err := mat.Provenance("carol", "disease-susceptibility", "E1", progID)
+	if err != nil {
+		t.Fatalf("Provenance: %v", err)
+	}
+	it := prov.Items[snpID]
+	if it == nil || it.Redacted || it.Value != "chr1" {
+		t.Fatalf("materialized analyst snps = %+v, want generalized chr1", it)
 	}
 }
 

@@ -70,6 +70,9 @@ var (
 	ErrDenied = errors.New("access denied")
 	// ErrUnknownUser marks requests by unregistered principals.
 	ErrUnknownUser = errors.New("unknown user")
+	// ErrExists marks duplicate registrations (spec or execution ids
+	// already taken); the HTTP layer maps it to 409 Conflict.
+	ErrExists = errors.New("already exists")
 )
 
 // shard is the unit of isolation: everything the repository knows about
@@ -403,7 +406,7 @@ func (r *Repository) AddSpec(s *workflow.Spec, pol *privacy.Policy) error {
 	r.polMu.Lock()
 	defer r.polMu.Unlock()
 	if r.shard(s.ID) != nil {
-		return fmt.Errorf("repo: spec %s already registered", s.ID)
+		return fmt.Errorf("repo: spec %s already registered: %w", s.ID, ErrExists)
 	}
 	// Heavy incremental index maintenance runs outside the directory
 	// lock: both indexes serialize writers internally and publish atomic
@@ -418,7 +421,9 @@ func (r *Repository) AddSpec(s *workflow.Spec, pol *privacy.Policy) error {
 	r.mu.Lock()
 	if r.matLevels != nil {
 		vs := index.NewViewStore()
-		if err := vs.RegisterSpec(s, pol, r.matLevels); err != nil {
+		// A fresh shard has no generalization ladders yet;
+		// SetGeneralization rebuilds the view store when they arrive.
+		if err := vs.RegisterSpec(s, pol, nil, r.matLevels); err != nil {
 			r.mu.Unlock()
 			r.inverted.RemoveSpec(s.ID)
 			r.reach.RemoveSpec(s.ID)
@@ -478,7 +483,7 @@ func (r *Repository) loadSpec(s *workflow.Spec, pol *privacy.Policy) error {
 		return err
 	}
 	if _, dup := r.shards[s.ID]; dup {
-		return fmt.Errorf("repo: spec %s already registered", s.ID)
+		return fmt.Errorf("repo: spec %s already registered: %w", s.ID, ErrExists)
 	}
 	r.shards[s.ID] = sh
 	return nil
@@ -588,7 +593,7 @@ func (r *Repository) AddExecution(e *exec.Execution) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.execs[e.ID]; dup {
-		return fmt.Errorf("repo: execution %s already registered", e.ID)
+		return fmt.Errorf("repo: execution %s already registered: %w", e.ID, ErrExists)
 	}
 	sh.execs[e.ID] = e
 	if sh.viewStore != nil {
@@ -645,10 +650,10 @@ func (sh *shard) buildViews(levels []privacy.Level) (*index.ViewStore, map[strin
 	for _, e := range sh.execs {
 		execs = append(execs, e)
 	}
-	spec, pol := sh.spec, sh.policy
+	spec, pol, hs := sh.spec, sh.policy, sh.hierarchies
 	sh.mu.RUnlock()
 	vs := index.NewViewStore()
-	if err := vs.RegisterSpec(spec, pol, levels); err != nil {
+	if err := vs.RegisterSpec(spec, pol, hs, levels); err != nil {
 		return nil, nil, err
 	}
 	sort.Slice(execs, func(i, j int) bool { return execs[i].ID < execs[j].ID })
@@ -754,16 +759,17 @@ func (r *Repository) UpdatePolicy(specID string, pol *privacy.Policy) error {
 	var vs *index.ViewStore
 	var covered map[string]bool
 	if matLevels != nil {
-		vs = index.NewViewStore()
-		if err := vs.RegisterSpec(s, pol, matLevels); err != nil {
-			return err
-		}
 		sh.mu.RLock()
+		hs := sh.hierarchies
 		execs := make([]*exec.Execution, 0, len(sh.execs))
 		for _, e := range sh.execs {
 			execs = append(execs, e)
 		}
 		sh.mu.RUnlock()
+		vs = index.NewViewStore()
+		if err := vs.RegisterSpec(s, pol, hs, matLevels); err != nil {
+			return err
+		}
 		sort.Slice(execs, func(i, j int) bool { return execs[i].ID < execs[j].ID })
 		covered = make(map[string]bool, len(execs))
 		for _, e := range execs {
@@ -821,15 +827,65 @@ func (sh *shard) policySnapshot() *privacy.Policy {
 // SetGeneralization installs generalization hierarchies for a spec's
 // protected attributes: masking then coarsens values (e.g. exact SNP →
 // chromosome → genome) instead of redacting them outright, preserving
-// utility for under-privileged users. Call before executions are
-// materialized.
+// utility for under-privileged users. When materialized views are
+// enabled, the shard's view store is rebuilt under the new ladders —
+// the views must generalize exactly like the snapshot path (the
+// masking-parity contract) — so calling this before or after
+// materialization is equally safe.
 func (r *Repository) SetGeneralization(specID string, hs map[string]*datapriv.Hierarchy) error {
+	// Serialize against the other policy-sensitive mutators: the view
+	// store rebuilt below must reflect exactly one (policy, ladder)
+	// pair, and EnableMaterialization must not install views built
+	// under the ladders this call replaces.
+	r.polMu.Lock()
+	defer r.polMu.Unlock()
 	sh, err := r.shardOrErr(specID)
 	if err != nil {
 		return err
 	}
+	r.mu.RLock()
+	matLevels := r.matLevels
+	r.mu.RUnlock()
+	// Phase 1 — build: when materialization is on, re-materialize the
+	// shard's views under the new ladders, outside the shard lock.
+	var vs *index.ViewStore
+	var covered map[string]bool
+	if matLevels != nil {
+		sh.mu.RLock()
+		spec, pol := sh.spec, sh.policy
+		execs := make([]*exec.Execution, 0, len(sh.execs))
+		for _, e := range sh.execs {
+			execs = append(execs, e)
+		}
+		sh.mu.RUnlock()
+		vs = index.NewViewStore()
+		if err := vs.RegisterSpec(spec, pol, hs, matLevels); err != nil {
+			return err
+		}
+		sort.Slice(execs, func(i, j int) bool { return execs[i].ID < execs[j].ID })
+		covered = make(map[string]bool, len(execs))
+		for _, e := range execs {
+			if err := vs.Materialize(e); err != nil {
+				return err
+			}
+			covered[e.ID] = true
+		}
+	}
+	// Phase 2 — install under the shard lock, catching up on executions
+	// ingested during the build. A failure installs nothing: the old
+	// ladders, engine and views stay fully in place.
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if vs != nil {
+		for id, e := range sh.execs {
+			if !covered[id] {
+				if err := vs.Materialize(e); err != nil {
+					return err
+				}
+			}
+		}
+		sh.viewStore = vs
+	}
 	sh.hierarchies = hs
 	sh.engine = datapriv.NewMasker(sh.policy, hs).Engine()
 	// Hierarchies change what masking emits, so cached masked snapshots
@@ -954,6 +1010,11 @@ type SearchOptions struct {
 	Buckets int
 	// BypassCache disables the per-group result cache.
 	BypassCache bool
+	// Limit/Offset window the ranked result list engine-side: only the
+	// specs inside [Offset, Offset+Limit) get their minimal view built;
+	// the rest are counted with the cheap search.Matches predicate.
+	// Limit 0 means unlimited (full materialization).
+	Limit, Offset int
 }
 
 // Search runs a keyword query as the given user: candidate specs come
@@ -961,22 +1022,53 @@ type SearchOptions struct {
 // minimal view clipped to the user's access view, and results are
 // ranked by TF-IDF over the level's visible corpus. Candidate specs are
 // evaluated concurrently on the fan-out pool; the merge is
-// deterministic (score descending, spec id ascending).
+// deterministic (score descending, spec id ascending). Limit/Offset in
+// opts are ignored — Search always returns the full list; windowed
+// callers use SearchPage.
 func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]SearchHit, error) {
+	opts.Limit, opts.Offset = 0, 0
+	hits, _, err := r.SearchPage(userName, queryText, opts)
+	return hits, err
+}
+
+// pagedHits is the result-cache value of SearchPage: one window plus
+// the pre-pagination total.
+type pagedHits struct {
+	hits  []SearchHit
+	total int
+}
+
+// SearchPage is Search with the pagination window pushed into the
+// engine. The ranked order of the full result list is known before any
+// view is built (corpus scores are per spec, ties break on spec id), so
+// the engine sorts the candidates first, counts the matching ones with
+// search.Matches — a per-module keyword scan, no hierarchy walk, no
+// view expansion — and runs the expensive minimal-view search only for
+// the candidates inside [Offset, Offset+Limit). A deep repository
+// therefore pays per page, not per hit; total is still exact
+// (TestMatchesAgreesWithSearch pins predicate/search equivalence, and
+// TestSearchPageTilesFullSearch pins the tiling end-to-end).
+func (r *Repository) SearchPage(userName, queryText string, opts SearchOptions) ([]SearchHit, int, error) {
 	u, err := r.User(userName)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	phrases := search.ParseQuery(queryText)
 	if len(phrases) == 0 {
-		return nil, fmt.Errorf("repo: empty query")
+		return nil, 0, fmt.Errorf("repo: empty query")
+	}
+	if opts.Limit < 0 || opts.Offset < 0 {
+		return nil, 0, fmt.Errorf("repo: negative pagination window")
 	}
 
-	cacheKey := fmt.Sprintf("search|%s|%d", queryText, opts.Buckets)
+	// %q-quote the caller-controlled query so a '|' inside it cannot
+	// collide with another (query, buckets, window) triple's key.
+	cacheKey := fmt.Sprintf("search|%q|%d|%d|%d", queryText, opts.Buckets, opts.Limit, opts.Offset)
 	cache := r.cache.Load()
 	if !opts.BypassCache {
 		if v, ok := cache.Get(u.Group, cacheKey); ok {
-			return v.([]SearchHit), nil
+			p := v.(pagedHits)
+			return p.hits, p.total, nil
 		}
 	}
 
@@ -993,7 +1085,6 @@ func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]S
 	for sid := range candidateSet {
 		candidates = append(candidates, sid)
 	}
-	sort.Strings(candidates)
 
 	corpus := r.corpusFor(u.Level)
 	var flat []string
@@ -1009,14 +1100,55 @@ func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]S
 		scoreOf[rk.Doc] = rk.Score
 	}
 
-	// Fan the per-spec minimal-view searches out over the pool; slot i
-	// belongs to candidate i, so the merge below is order-independent.
-	slots := make([]*SearchHit, len(candidates))
+	// Rank the candidates up front, in exactly the final hit order
+	// (score descending, spec id ascending): evaluation can then window
+	// by position without materializing anything outside the window.
+	sort.Slice(candidates, func(i, j int) bool {
+		si, sj := scoreOf[candidates[i]], scoreOf[candidates[j]]
+		if si != sj {
+			return si > sj
+		}
+		return candidates[i] < candidates[j]
+	})
+
+	// Which ranked candidates actually match, via the cheap predicate.
+	// A shard removed since the index lookup counts as a non-match, the
+	// same transient the full path already tolerates.
+	matched := make([]bool, len(candidates))
 	r.fanOut(len(candidates), func(i int) {
-		sid := candidates[i]
+		sh := r.shard(candidates[i])
+		if sh == nil {
+			return
+		}
+		sh.mu.RLock()
+		s, pol := sh.spec, sh.policy
+		sh.mu.RUnlock()
+		matched[i] = search.Matches(s, phrases, pol, u.Level)
+	})
+	window := make([]string, 0, len(candidates))
+	total := 0
+	for i, sid := range candidates {
+		if !matched[i] {
+			continue
+		}
+		total++
+		if total-1 < opts.Offset {
+			continue
+		}
+		if opts.Limit > 0 && len(window) >= opts.Limit {
+			continue // beyond the window: counted, never materialized
+		}
+		window = append(window, sid)
+	}
+
+	// Materialize minimal views for the window only, on the fan-out
+	// pool; slot i belongs to window[i], so order survives the merge.
+	slots := make([]*SearchHit, len(window))
+	r.fanOut(len(window), func(i int) {
+		sid := window[i]
 		sh := r.shard(sid)
 		if sh == nil {
-			return // removed since the index lookup
+			return // removed since the predicate pass
 		}
 		sh.mu.RLock()
 		s, pol, hier := sh.spec, sh.policy, sh.hier
@@ -1024,26 +1156,20 @@ func (r *Repository) Search(userName, queryText string, opts SearchOptions) ([]S
 		access := pol.AccessView(hier, u.Level)
 		res, err := search.SearchWithAccess(s, phrases, access, pol, u.Level)
 		if err != nil {
-			return // some phrase unmatched in this spec
+			return // predicate raced a mutation; drop the hit
 		}
 		slots[i] = &SearchHit{SpecID: sid, Score: scoreOf[sid], Result: res}
 	})
-	var hits []SearchHit
+	hits := make([]SearchHit, 0, len(window))
 	for _, h := range slots {
 		if h != nil {
 			hits = append(hits, *h)
 		}
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].SpecID < hits[j].SpecID
-	})
 	if !opts.BypassCache {
-		cache.Put(u.Group, cacheKey, hits)
+		cache.Put(u.Group, cacheKey, pagedHits{hits: hits, total: total})
 	}
-	return hits, nil
+	return hits, total, nil
 }
 
 // CacheStats exposes cumulative result-cache hit/miss counters
@@ -1091,7 +1217,11 @@ func (r *Repository) maskedExecFor(sh *shard, e *exec.Execution, level privacy.L
 	if snap, ok := sh.masked.Get(key); ok {
 		return snap, nil
 	}
-	got, err := r.flights.Do(fmt.Sprintf("masked|%s|%s|%d|%d", sh.spec.ID, e.ID, int(level), polGen), func() (any, error) {
+	// Spec and execution ids are wire-writable since the mutation API:
+	// %q-quote them so an embedded '|' cannot make two different
+	// (spec, exec) pairs share a singleflight key and leak one shard's
+	// snapshot to another's reader.
+	got, err := r.flights.Do(fmt.Sprintf("masked|%q|%q|%d|%d", sh.spec.ID, e.ID, int(level), polGen), func() (any, error) {
 		if snap, ok := sh.masked.Peek(key); ok {
 			return snap, nil
 		}
@@ -1287,17 +1417,32 @@ func (r *Repository) QuerySpec(userName, specID, queryText string) (*query.SpecA
 // spec, returning non-empty answers in execution-id order. Executions
 // are evaluated concurrently on the fan-out pool.
 func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answer, error) {
+	answers, _, err := r.QueryAllPage(userName, specID, queryText, 0, 0)
+	return answers, err
+}
+
+// QueryAllPage is QueryAll with the pagination window pushed into the
+// engine: the binding phase (query.MatchOn) still runs for every
+// execution — the total requires knowing which executions answer — but
+// the return clause (provenance / downstream sub-executions, the
+// per-answer materialization cost) is built only for the answers inside
+// [offset, offset+limit). limit 0 materializes everything. The returned
+// total is the pre-pagination count of non-empty answers.
+func (r *Repository) QueryAllPage(userName, specID, queryText string, limit, offset int) ([]*query.Answer, int, error) {
 	q, err := query.Parse(queryText)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if limit < 0 || offset < 0 {
+		return nil, 0, fmt.Errorf("repo: negative pagination window")
 	}
 	u, err := r.User(userName)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	sh, err := r.shardOrErr(specID)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	sh.mu.RLock()
 	ids := make([]string, 0, len(sh.execs))
@@ -1311,25 +1456,55 @@ func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answ
 	}
 	sh.mu.RUnlock()
 
+	// Phase 1 — bindings only, fanned out. Each evaluation snapshots the
+	// policy per execution; every answer of one call may still interleave
+	// with a racing UpdatePolicy, but each individual answer is
+	// internally consistent (view, taint set and mask all come from one
+	// policy generation).
 	answers := make([]*query.Answer, len(execs))
+	snaps := make([]maskedSnapshot, len(execs))
 	errs := make([]error, len(execs))
 	r.fanOut(len(execs), func(i int) {
-		// evaluateQuery snapshots the policy per execution; every answer
-		// of one call may still interleave with a racing UpdatePolicy,
-		// but each individual answer is internally consistent (view,
-		// taint set and mask all come from one policy generation).
-		answers[i], errs[i] = r.evaluateQuery(sh, execs[i], q, u.Level)
+		snap, err := r.maskedExecFor(sh, execs[i], u.Level)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r.countTaint(snap.rep)
+		ev := query.NewEvaluator(sh.spec)
+		answers[i], errs[i] = ev.MatchOn(q, snap.prep, snap.pol, u.Level, snap.zoomed)
+		snaps[i] = snap
 	})
 	if err := errors.Join(errs...); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var out []*query.Answer
-	for _, ans := range answers {
+	var prep []*query.PreparedExec
+	for i, ans := range answers {
 		if ans != nil && len(ans.Bindings) > 0 {
 			out = append(out, ans)
+			prep = append(prep, snaps[i].prep)
 		}
 	}
-	return out, nil
+	total := len(out)
+	if offset >= total {
+		return nil, total, nil
+	}
+	out, prep = out[offset:], prep[offset:]
+	if limit > 0 && limit < len(out) {
+		out, prep = out[:limit], prep[:limit]
+	}
+
+	// Phase 2 — materialize return clauses for the window only.
+	merrs := make([]error, len(out))
+	ev := query.NewEvaluator(sh.spec)
+	r.fanOut(len(out), func(i int) {
+		merrs[i] = ev.MaterializeReturn(q, out[i], prep[i])
+	})
+	if err := errors.Join(merrs...); err != nil {
+		return nil, 0, err
+	}
+	return out, total, nil
 }
 
 // collapsedView returns the execution collapsed to the access view of
@@ -1340,7 +1515,7 @@ func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.L
 	if v, ok := sh.views.Get(key); ok {
 		return v, nil
 	}
-	got, err := r.flights.Do(fmt.Sprintf("view|%s|%s|%d|%d", sh.spec.ID, e.ID, int(level), polGen), func() (any, error) {
+	got, err := r.flights.Do(fmt.Sprintf("view|%q|%q|%d|%d", sh.spec.ID, e.ID, int(level), polGen), func() (any, error) {
 		if v, ok := sh.views.Peek(key); ok {
 			return v, nil
 		}
@@ -1368,7 +1543,7 @@ func (r *Repository) taintSetFor(sh *shard, e *exec.Execution, en *taint.Engine,
 	if s, ok := sh.taints.Get(key); ok {
 		return s
 	}
-	got, _ := r.flights.Do(fmt.Sprintf("taint|%s|%s|%d", sh.spec.ID, e.ID, polGen), func() (any, error) {
+	got, _ := r.flights.Do(fmt.Sprintf("taint|%q|%q|%d", sh.spec.ID, e.ID, polGen), func() (any, error) {
 		if s, ok := sh.taints.Peek(key); ok {
 			return s, nil
 		}
@@ -1419,16 +1594,15 @@ func (r *Repository) ProvenanceWith(userName, specID, execID, itemID string, opt
 	sh.mu.RLock()
 	pol := sh.policy
 	vs := sh.viewStore
-	hierarchies := sh.hierarchies
 	en := sh.engine
 	polGen := sh.polGen
 	sh.mu.RUnlock()
 	// Fast path: a materialized view at exactly this level (already
-	// taint-masked by the view store). Disabled when the spec has
-	// generalization hierarchies, which the view store does not apply
-	// (it redacts) — correctness over speed — and when the caller asked
-	// for the untainted debug view.
-	if vs != nil && hierarchies == nil && !opts.DisableTaint {
+	// taint-masked — and, since the view store routes the generalization
+	// ladders, generalized — identically to the snapshot path; the
+	// parity tests pin the two byte-equal). Skipped only when the caller
+	// asked for the untainted debug view.
+	if vs != nil && !opts.DisableTaint {
 		if v, rep := vs.GetWithReport(specID, execID, u.Level); v != nil {
 			if v.Items[itemID] == nil {
 				return nil, fmt.Errorf("repo: item %s not visible at level %s: %w", itemID, u.Level, ErrDenied)

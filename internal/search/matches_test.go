@@ -1,0 +1,64 @@
+package search_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"provpriv/internal/privacy"
+	"provpriv/internal/search"
+	"provpriv/internal/workflow"
+	"provpriv/internal/workload"
+)
+
+// TestMatchesAgreesWithSearch pins the pagination predicate to the full
+// search: Matches(spec, q, pol, level) must equal "SearchWithAccess
+// succeeds" for every random spec × query × policy × level — the
+// repository's windowed search counts totals with the predicate and
+// materializes views only inside the window, so a divergence here would
+// make paginated totals lie.
+func TestMatchesAgreesWithSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for seed := int64(0); seed < 8; seed++ {
+		s, err := workload.RandomSpec(workload.SpecConfig{
+			Seed: seed, Depth: 3, Fanout: 2, Chain: 5, SkipProb: 0.2,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		h, err := workflow.NewHierarchy(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pol := privacy.NewPolicy(s.ID)
+		k := 0
+		for _, wid := range s.WorkflowIDs() {
+			for _, m := range s.Workflows[wid].Modules {
+				if k%3 == 0 {
+					pol.ModuleLevels[m.ID] = privacy.Analyst
+				}
+				k++
+			}
+		}
+		for _, q := range workload.RandomQueries(rng, nil, 16) {
+			phrases := search.ParseQuery(q)
+			if len(phrases) == 0 {
+				continue
+			}
+			for _, level := range []privacy.Level{privacy.Public, privacy.Registered, privacy.Analyst, privacy.Owner} {
+				access := pol.AccessView(h, level)
+				_, err := search.SearchWithAccess(s, phrases, access, pol, level)
+				if got, want := search.Matches(s, phrases, pol, level), err == nil; got != want {
+					t.Fatalf("seed %d level %v query %q: Matches=%v but SearchWithAccess err=%v",
+						seed, level, q, got, err)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchesEmptyQuery(t *testing.T) {
+	s := workflow.DiseaseSusceptibility()
+	if search.Matches(s, nil, nil, privacy.Owner) {
+		t.Fatal("empty query matched")
+	}
+}

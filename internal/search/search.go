@@ -119,6 +119,49 @@ func Search(spec *workflow.Spec, query [][]string) (*Result, error) {
 	return searchInternal(spec, query, nil, nil, 0)
 }
 
+// Matches reports whether SearchWithAccess would succeed for the query —
+// i.e. every phrase matches at least one module visible under module
+// privacy — without building the hierarchy, the minimal prefix or the
+// answer view. This is the pagination predicate: windowed repository
+// search uses it to count the full result set while materializing views
+// only for the requested page.
+//
+// Equivalence with searchInternal: beyond the per-phrase visible-match
+// requirement tested here, searchInternal can only fail on structurally
+// invalid specs (hierarchy/expand errors, impossible for specs the
+// repository validated on registration); its "all matches suppressed"
+// guard is unreachable when every phrase has a visible match, because a
+// match is dropped from the report only when its whole workflow chain
+// is in the prefix yet the module is absent from the view — a
+// contradiction for expanded prefixes. TestMatchesAgreesWithSearch
+// pins the equivalence property-style.
+func Matches(spec *workflow.Spec, query [][]string, pol *privacy.Policy, level privacy.Level) bool {
+	if len(query) == 0 {
+		return false
+	}
+	for _, phrase := range query {
+		found := false
+		for _, wid := range spec.WorkflowIDs() {
+			for _, m := range spec.Workflows[wid].Modules {
+				if pol != nil && !pol.CanSeeModule(level, m.ID) {
+					continue
+				}
+				if phraseMatches(m, phrase) {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
 // SearchWithAccess evaluates the query under an access view and a
 // policy: the answer view never exceeds accessView, matches on modules
 // hidden by module privacy are discarded, and matches inside workflows

@@ -1,34 +1,61 @@
 // Package server exposes the sharded provenance repository over HTTP —
 // the multi-tenant serving surface the paper's vision implies: a shared
 // repository "searched and queried by many users with different levels
-// of access". Every endpoint authenticates a repository principal (the
-// X-Prov-User header or ?user= parameter) and evaluates under that
-// user's privacy level; privacy enforcement stays inside the engine,
-// the transport only maps sentinel errors to status codes:
+// of access", and since the mutation endpoints landed, also written to
+// over the wire. Every endpoint authenticates a repository principal
+// and evaluates under that user's privacy level; privacy enforcement
+// stays inside the engine, the transport only maps sentinel errors to
+// status codes:
 //
 //	repo.ErrUnknownUser → 401
 //	repo.ErrDenied      → 403
 //	repo.ErrNotFound    → 404
+//	repo.ErrExists      → 409
 //	other request error → 400
+//
+// # Authentication
+//
+// Two schemes, chosen by server configuration:
+//
+//   - Bearer tokens (Server.Auth, from a token file — see internal/auth):
+//     `Authorization: Bearer <secret>` resolves to a (repository user,
+//     role) pair. Roles ladder reader < writer < admin; reads need
+//     reader, mutations writer, save admin.
+//   - Trusted headers (the PR 1 scheme): the X-Prov-User header or
+//     ?user= parameter names the principal. Only honored when no token
+//     file is configured (full trust, dev mode — the principal gets the
+//     admin role) or when the operator set AllowHeaderAuth next to a
+//     token file (migration compat — header principals are then
+//     read-only). With a token file configured, header auth is rejected
+//     by default.
 //
 // Endpoints (all JSON):
 //
-//	GET /api/v1/specs                               registered specs + executions
-//	GET /api/v1/search?q=Q[&buckets=N][&limit=L&offset=O]  privacy-aware keyword search
-//	GET /api/v1/query?spec=S&q=Q[&exec=E][&zoom=1][&limit=L&offset=O]  structural query
-//	GET /api/v1/reach?spec=S&from=M1&to=M2          structural-privacy reachability
-//	GET /api/v1/provenance?spec=S&exec=E&item=D[&taint=off]  taint-masked provenance of a data item
+//	GET    /api/v1/specs                            registered specs + executions [reader]
+//	GET    /api/v1/search?q=Q[&buckets=N][&limit=L&offset=O]  privacy-aware keyword search [reader]
+//	GET    /api/v1/query?spec=S&q=Q[&exec=E][&zoom=1][&limit=L&offset=O]  structural query [reader]
+//	GET    /api/v1/reach?spec=S&from=M1&to=M2       structural-privacy reachability [reader]
+//	GET    /api/v1/provenance?spec=S&exec=E&item=D[&taint=off]  taint-masked provenance [reader]
 //	                                                (taint=off: attribute-local masking only — a debug escape
 //	                                                hatch requiring the operator opt-in Server.AllowDisableTaint)
-//	GET /api/v1/stats                               repository + cache statistics
-//	GET /metrics                                    Prometheus-style counters (no auth)
+//	GET    /api/v1/stats                            repository + cache statistics [reader]
+//	POST   /api/v1/specs                            register a spec (+ optional policy) [writer]
+//	POST   /api/v1/executions                       store an execution of a registered spec [writer]
+//	DELETE /api/v1/specs/{id}                       unregister a spec and its executions [writer]
+//	PUT    /api/v1/policy                           replace a spec's privacy policy [writer]
+//	PUT    /api/v1/generalization                   install generalization ladders [writer]
+//	POST   /api/v1/save                             persist the repository to the save dir [admin]
+//	GET    /metrics                                 Prometheus-style counters (no auth)
 //
 // Search and query responses are paginated with limit/offset (limit 0 =
 // unlimited); the pre-pagination result count is returned as "total" so
-// clients can page without a second query.
+// clients can page without a second query. Pagination is pushed into
+// the engine (repo.SearchPage / repo.QueryAllPage): out-of-window hits
+// are counted, never materialized.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,14 +64,24 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
+	"provpriv/internal/auth"
+	"provpriv/internal/datapriv"
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
 	"provpriv/internal/query"
 	"provpriv/internal/repo"
+	"provpriv/internal/workflow"
 )
 
+// maxBodyBytes bounds mutation request bodies (a workflow spec or an
+// execution trace; generous, but not a DoS vector).
+const maxBodyBytes = 8 << 20
+
 // Server serves a Repository over HTTP. It is stateless apart from the
-// repository: handlers are safe for arbitrary concurrency because the
-// engine is.
+// repository and two counters: handlers are safe for arbitrary
+// concurrency because the engine is.
 type Server struct {
 	repo *repo.Repository
 	mux  *http.ServeMux
@@ -58,17 +95,46 @@ type Server struct {
 	// 403, not silent taint-on, so a debugging session can't
 	// misattribute masked output to the unmasked path.
 	AllowDisableTaint bool
+	// Auth, when non-nil, enables bearer-token authentication and makes
+	// it the only accepted scheme (unless AllowHeaderAuth is also set).
+	// When nil, the server runs in the PR 1 trusted-header mode: any
+	// registered principal named by X-Prov-User is fully trusted (role
+	// admin) — acceptable on a private network, never on a shared one.
+	Auth *auth.Authenticator
+	// AllowHeaderAuth re-admits the trusted-header scheme next to a
+	// token file, as read-only (role reader): a migration bridge so
+	// legacy read clients keep working while writers move to tokens.
+	AllowHeaderAuth bool
+	// SaveDir is the directory POST /api/v1/save persists to. Empty
+	// disables the endpoint (400): the save target is operator
+	// configuration, never caller input — a wire-supplied path would be
+	// an arbitrary-file-write primitive.
+	SaveDir string
+
+	// mutations counts successful mutation-endpoint requests;
+	// authFailures counts rejected authentications and authorization
+	// denials (both exported via /metrics and /stats).
+	mutations    atomic.Int64
+	authFailures atomic.Int64
 }
 
 // New wraps a repository in an HTTP API.
 func New(r *repo.Repository) *Server {
 	s := &Server{repo: r, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /api/v1/specs", s.withUser(s.handleSpecs))
-	s.mux.HandleFunc("GET /api/v1/search", s.withUser(s.handleSearch))
-	s.mux.HandleFunc("GET /api/v1/query", s.withUser(s.handleQuery))
-	s.mux.HandleFunc("GET /api/v1/reach", s.withUser(s.handleReach))
-	s.mux.HandleFunc("GET /api/v1/provenance", s.withUser(s.handleProvenance))
-	s.mux.HandleFunc("GET /api/v1/stats", s.withUser(s.handleStats))
+	s.mux.HandleFunc("GET /api/v1/specs", s.withRole(auth.RoleReader, s.handleSpecs))
+	s.mux.HandleFunc("GET /api/v1/search", s.withRole(auth.RoleReader, s.handleSearch))
+	s.mux.HandleFunc("GET /api/v1/query", s.withRole(auth.RoleReader, s.handleQuery))
+	s.mux.HandleFunc("GET /api/v1/reach", s.withRole(auth.RoleReader, s.handleReach))
+	s.mux.HandleFunc("GET /api/v1/provenance", s.withRole(auth.RoleReader, s.handleProvenance))
+	s.mux.HandleFunc("GET /api/v1/stats", s.withRole(auth.RoleReader, s.handleStats))
+	// The mutation surface: every engine mutator, behind writer (or
+	// admin, for save) role authz.
+	s.mux.HandleFunc("POST /api/v1/specs", s.withRole(auth.RoleWriter, s.handleAddSpec))
+	s.mux.HandleFunc("POST /api/v1/executions", s.withRole(auth.RoleWriter, s.handleAddExecution))
+	s.mux.HandleFunc("DELETE /api/v1/specs/{id}", s.withRole(auth.RoleWriter, s.handleRemoveSpec))
+	s.mux.HandleFunc("PUT /api/v1/policy", s.withRole(auth.RoleWriter, s.handleUpdatePolicy))
+	s.mux.HandleFunc("PUT /api/v1/generalization", s.withRole(auth.RoleWriter, s.handleSetGeneralization))
+	s.mux.HandleFunc("POST /api/v1/save", s.withRole(auth.RoleAdmin, s.handleSave))
 	// Metrics are operational, not user data: no principal required, so
 	// scrapers don't need a repository account.
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -104,6 +170,8 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusForbidden
 	case errors.Is(err, repo.ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, repo.ErrExists):
+		status = http.StatusConflict
 	}
 	if s.Logger != nil {
 		s.Logger.Printf("%s %s -> %d: %v", r.Method, r.URL.Path, status, err)
@@ -114,21 +182,80 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 // userHandler is a handler that has already resolved its principal.
 type userHandler func(w http.ResponseWriter, r *http.Request, user string)
 
-// withUser authenticates the request principal: the X-Prov-User header,
-// or the user query parameter. The user must be registered in the
-// repository; endpoints pass the name down so the engine re-checks the
-// level on every operation (no privilege caching in the transport).
-func (s *Server) withUser(h userHandler) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		name := r.Header.Get("X-Prov-User")
-		if name == "" {
-			name = r.URL.Query().Get("user")
+// principal resolves the request's (repository user, role) pair from
+// the configured authentication scheme(s); fromQuery reports that the
+// principal came from the bare ?user= URL parameter. See the package
+// comment for the scheme matrix.
+func (s *Server) principal(r *http.Request) (user string, role auth.Role, fromQuery bool, err error) {
+	if authz := r.Header.Get("Authorization"); authz != "" {
+		// RFC 7235 auth-scheme names are case-insensitive ("bearer" must
+		// work); the secret itself is untouched.
+		scheme, secret, ok := strings.Cut(authz, " ")
+		if !ok || !strings.EqualFold(scheme, "Bearer") {
+			return "", 0, false, fmt.Errorf("server: unsupported Authorization scheme: %w", repo.ErrUnknownUser)
 		}
-		if name == "" {
-			s.fail(w, r, fmt.Errorf("server: missing X-Prov-User header: %w", repo.ErrUnknownUser))
+		if s.Auth == nil {
+			return "", 0, false, fmt.Errorf("server: token auth not configured: %w", repo.ErrUnknownUser)
+		}
+		tok, ok := s.Auth.Authenticate(secret)
+		if !ok {
+			return "", 0, false, fmt.Errorf("server: invalid token: %w", repo.ErrUnknownUser)
+		}
+		return tok.User, tok.Role, false, nil
+	}
+	// Header scheme. With a token file configured it is rejected unless
+	// the operator explicitly bridged it — and then it is read-only.
+	if s.Auth != nil && !s.AllowHeaderAuth {
+		return "", 0, false, fmt.Errorf("server: bearer token required: %w", repo.ErrUnknownUser)
+	}
+	name := r.Header.Get("X-Prov-User")
+	if name == "" {
+		name = r.URL.Query().Get("user")
+		fromQuery = name != ""
+	}
+	if name == "" {
+		return "", 0, false, fmt.Errorf("server: missing credentials (Authorization or X-Prov-User): %w", repo.ErrUnknownUser)
+	}
+	role = auth.RoleAdmin // no token file: trusted headers, dev mode
+	if s.Auth != nil {
+		role = auth.RoleReader // migration bridge: header auth reads only
+	}
+	return name, role, fromQuery, nil
+}
+
+// withRole authenticates the request principal and enforces the
+// endpoint's minimum role. The user must be registered in the
+// repository; endpoints pass the name down so the engine re-checks the
+// privacy level on every operation (no privilege caching in the
+// transport). Authentication rejections and role denials feed the
+// auth_failures_total counter.
+func (s *Server) withRole(min auth.Role, h userHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name, role, fromQuery, err := s.principal(r)
+		if err != nil {
+			s.authFailures.Add(1)
+			s.fail(w, r, err)
+			return
+		}
+		if fromQuery && min > auth.RoleReader {
+			// The bare ?user= parameter is a curl convenience for reads.
+			// A browser can forge it in a cross-site "simple request"
+			// (no preflight), so in dev mode it would make the write
+			// surface CSRF-reachable; custom headers and Authorization
+			// are not forgeable that way. Mutations therefore require
+			// header-borne credentials.
+			s.authFailures.Add(1)
+			s.fail(w, r, fmt.Errorf("server: mutations require header credentials, not the user parameter: %w", repo.ErrUnknownUser))
+			return
+		}
+		if !role.Allows(min) {
+			s.authFailures.Add(1)
+			s.fail(w, r, fmt.Errorf("server: role %s may not use this endpoint (need %s): %w",
+				role, min, repo.ErrDenied))
 			return
 		}
 		if _, err := s.repo.User(name); err != nil {
+			s.authFailures.Add(1)
 			s.fail(w, r, err)
 			return
 		}
@@ -228,12 +355,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user strin
 		s.fail(w, r, err)
 		return
 	}
-	hits, err := s.repo.Search(user, q, repo.SearchOptions{Buckets: buckets})
+	// Pagination is pushed into the engine: SearchPage counts the full
+	// result set with a cheap match predicate and materializes minimal
+	// views only for this window.
+	hits, total, err := s.repo.SearchPage(user, q, repo.SearchOptions{
+		Buckets: buckets, Limit: limit, Offset: offset,
+	})
 	if err != nil {
 		s.fail(w, r, err)
 		return
 	}
-	hits, total := page(hits, limit, offset)
 	out := make([]searchHit, 0, len(hits))
 	for _, h := range hits {
 		sh := searchHit{
@@ -300,8 +431,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 			s.fail(w, r, fmt.Errorf("server: zoom requires an exec parameter"))
 			return
 		}
-		// All executions of the spec (non-empty answers only).
-		answers, err := s.repo.QueryAll(user, specID, q)
+		// All executions of the spec (non-empty answers only), with the
+		// window pushed into the engine: out-of-window answers are
+		// match-counted but their return clauses never materialize.
+		answers, total, err := s.repo.QueryAllPage(user, specID, q, limit, offset)
 		if err != nil {
 			s.fail(w, r, err)
 			return
@@ -310,7 +443,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 		for _, a := range answers {
 			out = append(out, toWireAnswer(a))
 		}
-		writePaged(out)
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"spec": specID, "answers": out, "total": total, "offset": offset,
+		})
 	case p.Get("zoom") != "":
 		res, err := s.repo.QueryZoomOut(user, specID, execID, q)
 		if err != nil {
@@ -384,6 +519,217 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request, user s
 	})
 }
 
+// readBody reads a mutation request body with the size cap applied.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("server: read request body: %v", err)
+	}
+	return data, nil
+}
+
+// decodeJSON strictly decodes a mutation request body into dst: size-
+// capped, unknown fields rejected (a typo'd "plicy" key must be a 400,
+// not a silent policy reset to all-public), and trailing garbage after
+// the JSON value is rejected (a concatenated second value is a
+// malformed request, not an extra).
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("server: bad request body: %v", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("server: trailing data after JSON body")
+	}
+	return nil
+}
+
+// strictUnmarshal is decodeJSON's strictness (unknown fields and
+// trailing garbage rejected) for already-read byte slices — the nested
+// spec object and the raw execution body, where a typo'd field name
+// ("edgs") must be a 400, not a silently empty slice.
+func strictUnmarshal(data []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("server: bad request body: %v", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("server: trailing data after JSON body")
+	}
+	return nil
+}
+
+// mutated records a successful mutation and writes the response.
+func (s *Server) mutated(w http.ResponseWriter, status int, v any) {
+	s.mutations.Add(1)
+	s.writeJSON(w, status, v)
+}
+
+// specRequest is the POST /api/v1/specs body: the spec itself (the
+// persistence JSON shape) plus an optional policy. A nil policy means
+// all-public, exactly like repo.AddSpec.
+type specRequest struct {
+	Spec   json.RawMessage `json:"spec"`
+	Policy *privacy.Policy `json:"policy,omitempty"`
+}
+
+func (s *Server) handleAddSpec(w http.ResponseWriter, r *http.Request, user string) {
+	var req specRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if len(req.Spec) == 0 {
+		s.fail(w, r, fmt.Errorf("server: spec request needs a spec object"))
+		return
+	}
+	spec := &workflow.Spec{}
+	if err := strictUnmarshal(req.Spec, spec); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if spec.ID == "" {
+		s.fail(w, r, fmt.Errorf("server: spec needs a non-empty id"))
+		return
+	}
+	if req.Policy != nil && req.Policy.SpecID != "" && req.Policy.SpecID != spec.ID {
+		s.fail(w, r, fmt.Errorf("server: policy is for spec %q, not %q", req.Policy.SpecID, spec.ID))
+		return
+	}
+	if req.Policy != nil {
+		req.Policy.SpecID = spec.ID
+	}
+	if err := s.repo.AddSpec(spec, req.Policy); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.mutated(w, http.StatusCreated, map[string]any{"spec": spec.ID})
+}
+
+// handleAddExecution accepts the execution object itself as the body
+// (the same JSON shape repo.Save persists), validates it and stores it
+// under its spec's shard. The execution is searchable and queryable the
+// moment the 201 is written — the engine's indexes are maintained
+// incrementally, there is no refresh step.
+func (s *Server) handleAddExecution(w http.ResponseWriter, r *http.Request, user string) {
+	data, err := readBody(w, r)
+	if err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	e := &exec.Execution{}
+	if err := strictUnmarshal(data, e); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if e.ID == "" || e.SpecID == "" {
+		s.fail(w, r, fmt.Errorf("server: execution needs non-empty id and spec"))
+		return
+	}
+	if err := s.repo.AddExecution(e); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.mutated(w, http.StatusCreated, map[string]any{"spec": e.SpecID, "exec": e.ID})
+}
+
+func (s *Server) handleRemoveSpec(w http.ResponseWriter, r *http.Request, user string) {
+	id := r.PathValue("id")
+	if err := s.repo.RemoveSpec(id); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.mutated(w, http.StatusOK, map[string]any{"removed": id})
+}
+
+// policyRequest is the PUT /api/v1/policy body. A nil policy resets the
+// spec to all-public (repo.UpdatePolicy semantics).
+type policyRequest struct {
+	Spec   string          `json:"spec"`
+	Policy *privacy.Policy `json:"policy,omitempty"`
+}
+
+func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request, user string) {
+	var req policyRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if req.Spec == "" {
+		s.fail(w, r, fmt.Errorf("server: policy request needs a spec id"))
+		return
+	}
+	if req.Policy != nil && req.Policy.SpecID != "" && req.Policy.SpecID != req.Spec {
+		s.fail(w, r, fmt.Errorf("server: policy is for spec %q, not %q", req.Policy.SpecID, req.Spec))
+		return
+	}
+	if req.Policy != nil {
+		req.Policy.SpecID = req.Spec
+	}
+	if err := s.repo.UpdatePolicy(req.Spec, req.Policy); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.mutated(w, http.StatusOK, map[string]any{"spec": req.Spec})
+}
+
+// generalizationRequest is the PUT /api/v1/generalization body: per-
+// attribute generalization ladders (see datapriv.Hierarchy). A nil map
+// removes all ladders (back to redaction-only masking).
+type generalizationRequest struct {
+	Spec        string                         `json:"spec"`
+	Hierarchies map[string]*datapriv.Hierarchy `json:"hierarchies,omitempty"`
+}
+
+func (s *Server) handleSetGeneralization(w http.ResponseWriter, r *http.Request, user string) {
+	var req generalizationRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	if req.Spec == "" {
+		s.fail(w, r, fmt.Errorf("server: generalization request needs a spec id"))
+		return
+	}
+	for attr, h := range req.Hierarchies {
+		if h == nil {
+			s.fail(w, r, fmt.Errorf("server: nil hierarchy for attribute %q", attr))
+			return
+		}
+		// The map key is authoritative; fill or check the embedded name.
+		if h.Attr == "" {
+			h.Attr = attr
+		} else if h.Attr != attr {
+			s.fail(w, r, fmt.Errorf("server: hierarchy under key %q names attribute %q", attr, h.Attr))
+			return
+		}
+	}
+	if err := s.repo.SetGeneralization(req.Spec, req.Hierarchies); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.mutated(w, http.StatusOK, map[string]any{"spec": req.Spec})
+}
+
+// handleSave persists the repository to the operator-configured save
+// directory. The target is never caller input; with no SaveDir the
+// endpoint is disabled.
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, user string) {
+	if s.SaveDir == "" {
+		s.fail(w, r, fmt.Errorf("server: no save directory configured"))
+		return
+	}
+	if err := s.repo.Save(s.SaveDir); err != nil {
+		s.fail(w, r, err)
+		return
+	}
+	s.mutated(w, http.StatusOK, map[string]any{"dir": s.SaveDir})
+}
+
 // statsBody is the /stats response.
 type statsBody struct {
 	Specs           int   `json:"specs"`
@@ -410,6 +756,13 @@ type statsBody struct {
 	MaskedCacheHits   int64                          `json:"masked_exec_cache_hits"`
 	MaskedCacheMisses int64                          `json:"masked_exec_cache_misses"`
 	MaskedCache       map[string]repo.TaintCacheStat `json:"masked_exec_cache,omitempty"`
+
+	// Mutation-surface health: successful mutation requests, rejected
+	// authentications/authorizations, and per-token use counters (only
+	// when token auth is configured).
+	Mutations    int64            `json:"mutations_total"`
+	AuthFailures int64            `json:"auth_failures_total"`
+	Tokens       []auth.TokenStat `json:"tokens,omitempty"`
 }
 
 func toStatsBody(st repo.Stats) statsBody {
@@ -440,7 +793,16 @@ func toStatsBody(st repo.Stats) statsBody {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, user string) {
-	s.writeJSON(w, http.StatusOK, toStatsBody(s.repo.Stats()))
+	body := toStatsBody(s.repo.Stats())
+	// AuthFailures subsumes the authenticator's invalid-secret count:
+	// every invalid token already fails principal() and is counted once
+	// there (adding Auth.Failures() would double-count).
+	body.Mutations = s.mutations.Load()
+	body.AuthFailures = s.authFailures.Load()
+	if s.Auth != nil {
+		body.Tokens = s.Auth.Stats()
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics renders the same counters in the Prometheus text
@@ -479,6 +841,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("taint_cache_misses_total", "Per-shard taint-set cache misses.", st.TaintCacheMisses)
 	metric("masked_exec_cache_hits_total", "Per-shard masked-execution snapshot cache hits.", st.MaskedCacheHits)
 	metric("masked_exec_cache_misses_total", "Per-shard masked-execution snapshot cache misses.", st.MaskedCacheMisses)
+	metric("mutations_total", "Successful mutation-endpoint requests.", s.mutations.Load())
+	metric("auth_failures_total", "Rejected authentications and authorization denials.", s.authFailures.Load())
+	if s.Auth != nil {
+		// Per-token use counters, as one labeled series (the label value
+		// is the token's public name — never secret material).
+		fmt.Fprintf(&b, "# HELP provpriv_auth_token_uses_total Requests authenticated per token.\n"+
+			"# TYPE provpriv_auth_token_uses_total counter\n")
+		for _, ts := range s.Auth.Stats() {
+			fmt.Fprintf(&b, "provpriv_auth_token_uses_total{token=%q,role=%q} %d\n", ts.Name, ts.Role, ts.Uses)
+		}
+	}
 	if _, err := io.WriteString(w, b.String()); err != nil && s.Logger != nil {
 		s.Logger.Printf("write metrics: %v", err)
 	}
