@@ -1,11 +1,19 @@
 // Command provgen generates a synthetic provenance-aware workflow
-// repository on disk: workflow specifications (JSON), executions (JSON)
-// and a manifest. It substitutes for the public scientific-workflow
+// repository on disk: workflow specifications, privacy policies and
+// executions. It substitutes for the public scientific-workflow
 // repositories the paper assumes.
 //
 //	provgen -out ./data -specs 5 -execs 3 -depth 3 -fanout 2 -chain 4 -seed 1
 //
-// The generated directory can be loaded by provsearch.
+// By default the repository is written in the crash-safe log-engine
+// layout (per-shard checkpoint + log, committed by an atomic manifest
+// swap), in either storage backend:
+//
+//	provgen -out ./data -backend kv
+//
+// -layout legacy emits the pre-log per-entity JSON layout instead — a
+// fixture generator for migration testing; the engine still loads it
+// and upgrades it on the first save.
 package main
 
 import (
@@ -17,15 +25,25 @@ import (
 	"path/filepath"
 
 	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/repo"
+	"provpriv/internal/storage"
 	"provpriv/internal/workflow"
 	"provpriv/internal/workload"
 )
 
-// Manifest lists the files of a generated repository.
-type Manifest struct {
+// legacyManifest lists the files of a legacy-layout repository.
+type legacyManifest struct {
 	Specs      []string `json:"specs"`
 	Policies   []string `json:"policies,omitempty"`
 	Executions []string `json:"executions"`
+}
+
+// corpus is the generated content, independent of the on-disk layout.
+type corpus struct {
+	specs []*workflow.Spec
+	pols  []*privacy.Policy // nil entries when -policies=false
+	execs [][]*exec.Execution
 }
 
 func main() {
@@ -40,73 +58,150 @@ func main() {
 	skip := flag.Float64("skip", 0.3, "skip-edge probability")
 	seed := flag.Int64("seed", 1, "random seed")
 	withPolicies := flag.Bool("policies", true, "generate a random privacy policy per spec")
+	layout := flag.String("layout", "log", "on-disk layout: log (crash-safe engine) or legacy (pre-log per-entity JSON)")
+	backendName := flag.String("backend", "flat", "log-layout storage backend: flat or kv")
 	flag.Parse()
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatalf("mkdir: %v", err)
+	if *layout != "log" && *layout != "legacy" {
+		log.Fatalf("bad -layout %q (want log or legacy)", *layout)
 	}
-	var man Manifest
-	for i := 0; i < *nSpecs; i++ {
+	if *backendName != "flat" && *backendName != "kv" {
+		log.Fatalf("bad -backend %q (want flat or kv)", *backendName)
+	}
+
+	c := generate(*nSpecs, *nExecs, *depth, *fanout, *chain, *skip, *seed, *withPolicies)
+	var err error
+	if *layout == "legacy" {
+		err = writeLegacy(*out, c)
+	} else {
+		err = writeLog(*out, *backendName, c)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, es := range c.execs {
+		total += len(es)
+	}
+	fmt.Printf("wrote %d specs, %d executions to %s (%s layout)\n", len(c.specs), total, *out, *layout)
+}
+
+func generate(nSpecs, nExecs, depth, fanout, chain int, skip float64, seed int64, withPolicies bool) corpus {
+	var c corpus
+	for i := 0; i < nSpecs; i++ {
 		cfg := workload.SpecConfig{
-			Seed:     *seed + int64(i),
+			Seed:     seed + int64(i),
 			ID:       fmt.Sprintf("synth-%d", i),
-			Depth:    *depth,
-			Fanout:   *fanout,
-			Chain:    *chain,
-			SkipProb: *skip,
+			Depth:    depth,
+			Fanout:   fanout,
+			Chain:    chain,
+			SkipProb: skip,
 		}
 		spec, err := workload.RandomSpec(cfg)
 		if err != nil {
 			log.Fatalf("generate spec %d: %v", i, err)
 		}
-		specPath := fmt.Sprintf("spec-%d.json", i)
-		if err := writeJSONFile(filepath.Join(*out, specPath), func(f *os.File) error {
-			return workflow.WriteSpec(f, spec)
-		}); err != nil {
-			log.Fatalf("write %s: %v", specPath, err)
-		}
-		man.Specs = append(man.Specs, specPath)
-
-		if *withPolicies {
-			pol, err := workload.RandomPolicy(spec, *seed+int64(i))
-			if err != nil {
+		var pol *privacy.Policy
+		if withPolicies {
+			if pol, err = workload.RandomPolicy(spec, seed+int64(i)); err != nil {
 				log.Fatalf("generate policy %d: %v", i, err)
 			}
-			polData, err := json.MarshalIndent(pol, "", "  ")
-			if err != nil {
-				log.Fatalf("encode policy %d: %v", i, err)
-			}
-			polPath := fmt.Sprintf("policy-%d.json", i)
-			if err := os.WriteFile(filepath.Join(*out, polPath), polData, 0o644); err != nil {
-				log.Fatalf("write %s: %v", polPath, err)
-			}
-			man.Policies = append(man.Policies, polPath)
 		}
-
 		runner := exec.NewRunner(spec, nil)
-		for j := 0; j < *nExecs; j++ {
+		execs := make([]*exec.Execution, 0, nExecs)
+		for j := 0; j < nExecs; j++ {
 			e, err := runner.Run(fmt.Sprintf("%s-E%d", spec.ID, j),
-				workload.RandomInputs(spec, *seed+int64(i*1000+j)))
+				workload.RandomInputs(spec, seed+int64(i*1000+j)))
 			if err != nil {
 				log.Fatalf("execute %s run %d: %v", spec.ID, j, err)
 			}
+			execs = append(execs, e)
+		}
+		c.specs = append(c.specs, spec)
+		c.pols = append(c.pols, pol)
+		c.execs = append(c.execs, execs)
+	}
+	return c
+}
+
+// writeLog persists the corpus through the storage engine: one bound
+// repository save, so the output is exactly what the server writes.
+func writeLog(out, backendName string, c corpus) error {
+	r := repo.New()
+	for i, spec := range c.specs {
+		if err := r.AddSpec(spec, c.pols[i]); err != nil {
+			return fmt.Errorf("add spec %s: %w", spec.ID, err)
+		}
+		for _, e := range c.execs[i] {
+			if err := r.AddExecution(e); err != nil {
+				return fmt.Errorf("add execution %s: %w", e.ID, err)
+			}
+		}
+	}
+	var b storage.Backend
+	var err error
+	if backendName == "kv" {
+		b, err = storage.OpenKV(out)
+	} else {
+		b, err = storage.OpenFlat(out)
+	}
+	if err != nil {
+		return err
+	}
+	if err := r.BindStorage(b, out); err != nil {
+		b.Close()
+		return err
+	}
+	if err := r.Save(out); err != nil {
+		return fmt.Errorf("save %s: %w", out, err)
+	}
+	return r.CloseStorage()
+}
+
+// writeLegacy emits the pre-log layout: per-entity JSON files plus the
+// parallel-list manifest.
+func writeLegacy(out string, c corpus) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return fmt.Errorf("mkdir: %w", err)
+	}
+	var man legacyManifest
+	for i, spec := range c.specs {
+		specPath := fmt.Sprintf("spec-%d.json", i)
+		if err := writeJSONFile(filepath.Join(out, specPath), func(f *os.File) error {
+			return workflow.WriteSpec(f, spec)
+		}); err != nil {
+			return fmt.Errorf("write %s: %w", specPath, err)
+		}
+		man.Specs = append(man.Specs, specPath)
+		if c.pols[i] != nil {
+			polData, err := json.MarshalIndent(c.pols[i], "", "  ")
+			if err != nil {
+				return fmt.Errorf("encode policy %d: %w", i, err)
+			}
+			polPath := fmt.Sprintf("policy-%d.json", i)
+			if err := os.WriteFile(filepath.Join(out, polPath), polData, 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", polPath, err)
+			}
+			man.Policies = append(man.Policies, polPath)
+		}
+		for j, e := range c.execs[i] {
 			execPath := fmt.Sprintf("exec-%d-%d.json", i, j)
-			if err := writeJSONFile(filepath.Join(*out, execPath), func(f *os.File) error {
+			if err := writeJSONFile(filepath.Join(out, execPath), func(f *os.File) error {
 				return exec.WriteExecution(f, e)
 			}); err != nil {
-				log.Fatalf("write %s: %v", execPath, err)
+				return fmt.Errorf("write %s: %w", execPath, err)
 			}
 			man.Executions = append(man.Executions, execPath)
 		}
 	}
 	manData, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
-		log.Fatalf("manifest: %v", err)
+		return fmt.Errorf("manifest: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(*out, "manifest.json"), manData, 0o644); err != nil {
-		log.Fatalf("write manifest: %v", err)
+	if err := os.WriteFile(filepath.Join(out, "manifest.json"), manData, 0o644); err != nil {
+		return fmt.Errorf("write manifest: %w", err)
 	}
-	fmt.Printf("wrote %d specs, %d executions to %s\n", len(man.Specs), len(man.Executions), *out)
+	return nil
 }
 
 func writeJSONFile(path string, write func(*os.File) error) error {

@@ -14,12 +14,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"path/filepath"
 
 	"provpriv/internal/exec"
 	"provpriv/internal/privacy"
@@ -42,12 +39,19 @@ func main() {
 	zoom := flag.Bool("zoom", false, "evaluate -squery with the gradual zoom-out strategy")
 	flag.Parse()
 
-	r := repo.New()
+	var r *repo.Repository
 	switch {
 	case *example:
+		r = repo.New()
 		loadExample(r)
 	case *data != "":
-		loadDir(r, *data)
+		// repo.Load understands every layout provgen emits: the log
+		// engine (flat files or KV store) and the legacy per-entity one.
+		var err error
+		if r, err = repo.Load(*data); err != nil {
+			log.Fatalf("load %s: %v", *data, err)
+		}
+		defer r.CloseStorage()
 	default:
 		log.Fatal("need -data DIR or -example")
 	}
@@ -141,57 +145,5 @@ func loadExample(r *repo.Repository) {
 	}
 	if err := r.AddExecution(e); err != nil {
 		log.Fatalf("example execution: %v", err)
-	}
-}
-
-func loadDir(r *repo.Repository, dir string) {
-	manData, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
-	if err != nil {
-		log.Fatalf("manifest: %v", err)
-	}
-	var man struct {
-		Specs      []string `json:"specs"`
-		Policies   []string `json:"policies"`
-		Executions []string `json:"executions"`
-	}
-	if err := json.Unmarshal(manData, &man); err != nil {
-		log.Fatalf("manifest: %v", err)
-	}
-	for i, p := range man.Specs {
-		data, err := os.ReadFile(filepath.Join(dir, p))
-		if err != nil {
-			log.Fatalf("read %s: %v", p, err)
-		}
-		spec, err := workflow.UnmarshalSpec(data)
-		if err != nil {
-			log.Fatalf("parse %s: %v", p, err)
-		}
-		var pol *privacy.Policy
-		if i < len(man.Policies) {
-			pdata, err := os.ReadFile(filepath.Join(dir, man.Policies[i]))
-			if err != nil {
-				log.Fatalf("read %s: %v", man.Policies[i], err)
-			}
-			pol = &privacy.Policy{}
-			if err := json.Unmarshal(pdata, pol); err != nil {
-				log.Fatalf("parse %s: %v", man.Policies[i], err)
-			}
-		}
-		if err := r.AddSpec(spec, pol); err != nil {
-			log.Fatalf("register %s: %v", p, err)
-		}
-	}
-	for _, p := range man.Executions {
-		data, err := os.ReadFile(filepath.Join(dir, p))
-		if err != nil {
-			log.Fatalf("read %s: %v", p, err)
-		}
-		e, err := exec.UnmarshalExecution(data)
-		if err != nil {
-			log.Fatalf("parse %s: %v", p, err)
-		}
-		if err := r.AddExecution(e); err != nil {
-			log.Fatalf("register %s: %v", p, err)
-		}
 	}
 }

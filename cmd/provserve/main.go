@@ -34,6 +34,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +52,7 @@ import (
 	"provpriv/internal/privacy"
 	"provpriv/internal/repo"
 	"provpriv/internal/server"
+	"provpriv/internal/storage"
 	"provpriv/internal/workflow"
 )
 
@@ -77,6 +79,8 @@ func main() {
 	log.SetPrefix("provserve: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "repository directory from provgen or repo.Save (missing manifest starts empty)")
+	backendName := flag.String("backend", "flat",
+		"storage backend for a new -data directory: flat (per-shard log files) or kv (embedded key-value store); existing directories keep the backend they were written with")
 	example := flag.Bool("example", false, "serve the built-in paper example instead of -data")
 	workers := flag.Int("workers", 0, "fan-out pool size (0 = GOMAXPROCS)")
 	allowTaintOff := flag.Bool("allow-taint-off", false,
@@ -123,22 +127,19 @@ func main() {
 		return
 	}
 
+	if *backendName != "flat" && *backendName != "kv" {
+		log.Fatalf("bad -backend %q (want flat or kv)", *backendName)
+	}
 	var r *repo.Repository
+	var store *storage.Measure
 	switch {
 	case *example:
 		r = repo.New()
 		loadExample(r)
 	case *data != "":
-		if _, err := os.Stat(filepath.Join(*data, "manifest.json")); os.IsNotExist(err) {
-			// A fresh directory: start empty — the mutation endpoints
-			// fill it and POST /api/v1/save creates the manifest.
-			log.Printf("no manifest in %s: starting empty repository", *data)
-			r = repo.New()
-		} else {
-			var err error
-			if r, err = repo.Load(*data); err != nil {
-				log.Fatalf("load %s: %v", *data, err)
-			}
+		var err error
+		if r, store, err = openDataDir(*data, *backendName); err != nil {
+			log.Fatalf("load %s: %v", *data, err)
 		}
 	default:
 		log.Fatal("need -data DIR or -example")
@@ -162,6 +163,7 @@ func main() {
 
 	srv := server.New(r)
 	srv.Logger = log.Default()
+	srv.Store = store
 	srv.AllowDisableTaint = *allowTaintOff
 	if *tokenFile != "" {
 		a, err := auth.LoadFile(*tokenFile)
@@ -208,6 +210,69 @@ func main() {
 		}
 		log.Print("bye")
 	}
+}
+
+// openDataDir opens (or creates) the repository directory with a
+// measured storage backend, so the server can export storage counters.
+// An existing directory keeps the backend it was written with (store.kv
+// marks the KV store); the -backend flag only picks the engine for a
+// fresh directory. Legacy pre-log directories load read-only and get a
+// measured flat backend bound for the migrating first save.
+func openDataDir(dir, backendName string) (*repo.Repository, *storage.Measure, error) {
+	open := func(name string) (storage.Backend, error) {
+		if name == "kv" {
+			return storage.OpenKV(dir)
+		}
+		return storage.OpenFlat(dir)
+	}
+	if _, err := os.Stat(filepath.Join(dir, storage.KVFileName)); err == nil {
+		backendName = "kv"
+	} else if _, err := os.Stat(filepath.Join(dir, "manifest.json")); os.IsNotExist(err) {
+		// A fresh directory: start empty — the mutation endpoints fill it
+		// and POST /api/v1/save commits the first snapshot.
+		log.Printf("no manifest in %s: starting empty repository (%s backend)", dir, backendName)
+		b, err := open(backendName)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := storage.NewMeasure(b)
+		r := repo.New()
+		if err := r.BindStorage(m, dir); err != nil {
+			m.Close()
+			return nil, nil, err
+		}
+		return r, m, nil
+	} else {
+		backendName = "flat"
+	}
+	b, err := open(backendName)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := storage.NewMeasure(b)
+	r, err := repo.LoadStorage(m, dir)
+	if errors.Is(err, storage.ErrLegacyLayout) {
+		m.Close()
+		if r, err = repo.Load(dir); err != nil {
+			return nil, nil, err
+		}
+		log.Printf("legacy layout in %s: will migrate to the log engine on first save", dir)
+		b, err = storage.OpenFlat(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		m = storage.NewMeasure(b)
+		if err := r.BindStorage(m, dir); err != nil {
+			m.Close()
+			return nil, nil, err
+		}
+		return r, m, nil
+	}
+	if err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	return r, m, nil
 }
 
 // loadExample seeds the paper's disease-susceptibility workflow with

@@ -35,8 +35,9 @@ import (
 // identity; each subsequent level maps values to coarser categories
 // (e.g. exact age → age bracket → "adult"). Values missing from a level
 // map generalize to the level's Other value.
-// The JSON tags are the wire shape of PUT /api/v1/generalization
-// (internal/server); ladders are not otherwise persisted.
+// The JSON tags are both the wire shape of PUT /api/v1/generalization
+// (internal/server) and the payload of the storage engine's RecHier
+// records, which persist installed ladders across Save/Load.
 type Hierarchy struct {
 	Attr   string                      `json:"attr"`
 	Levels []map[exec.Value]exec.Value `json:"levels"`

@@ -11,8 +11,20 @@ import (
 
 	"provpriv/internal/exec"
 	"provpriv/internal/privacy"
+	"provpriv/internal/storage"
 	"provpriv/internal/workload"
 )
+
+// ckptFile/walFile name a shard's checkpoint and log files in the flat
+// backend's layout (mirrored here so the tests can assert which files a
+// save touched).
+func ckptFile(sid string, gen uint64) string {
+	return fmt.Sprintf("ckpt-%s-%016x.log", storage.FileBase(sid), gen)
+}
+
+func walFile(sid string, gen uint64) string {
+	return fmt.Sprintf("wal-%s-%016x.log", storage.FileBase(sid), gen)
+}
 
 // makeSynthSpec builds the deterministic synthetic spec + policy used by
 // the derived-state tests (same shape as multiSpecRepo's fixture).
@@ -279,16 +291,19 @@ func TestSaveIncremental(t *testing.T) {
 		}
 		return st.ModTime().After(epoch)
 	}
+	// The first Save checkpointed every shard at generation 1; the
+	// incremental save must leave clean shards' checkpoints untouched
+	// and only append the new execution to s1's log.
 	for _, clean := range []string{"s0", "s2"} {
-		if rewritten("spec-" + fileBase(clean) + ".json") {
+		if rewritten(ckptFile(clean, 1)) {
 			t.Fatalf("clean shard %s rewritten", clean)
 		}
 	}
-	if !rewritten("spec-" + fileBase("s1") + ".json") {
-		t.Fatal("dirty shard s1 not rewritten")
+	if rewritten(ckptFile("s1", 1)) {
+		t.Fatal("dirty shard s1's checkpoint rewritten instead of appended to")
 	}
-	if !rewritten("exec-" + fileBase("s1") + "-" + fileBase("s1-E1") + ".json") {
-		t.Fatal("new execution not written")
+	if !rewritten(walFile("s1", 1)) {
+		t.Fatal("new execution not appended to s1's log")
 	}
 	if !rewritten("manifest.json") {
 		t.Fatal("manifest not rewritten")
@@ -443,7 +458,7 @@ func TestSavePrunesRemovedSpecFiles(t *testing.T) {
 	if err := r.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	goneSpec := filepath.Join(dir, "spec-"+fileBase("s1")+".json")
+	goneSpec := filepath.Join(dir, ckptFile("s1", 1))
 	if _, err := os.Stat(goneSpec); err != nil {
 		t.Fatalf("expected %s to exist: %v", goneSpec, err)
 	}
@@ -456,7 +471,7 @@ func TestSavePrunesRemovedSpecFiles(t *testing.T) {
 	if _, err := os.Stat(goneSpec); !os.IsNotExist(err) {
 		t.Fatalf("removed spec's file still on disk: %v", err)
 	}
-	for _, keep := range []string{"spec-" + fileBase("s0") + ".json", "manifest.json"} {
+	for _, keep := range []string{ckptFile("s0", 1), "manifest.json"} {
 		if _, err := os.Stat(filepath.Join(dir, keep)); err != nil {
 			t.Fatalf("live file %s pruned: %v", keep, err)
 		}

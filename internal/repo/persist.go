@@ -4,251 +4,578 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
-	"syscall"
 
+	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
 	"provpriv/internal/index"
 	"provpriv/internal/privacy"
+	"provpriv/internal/storage"
 	"provpriv/internal/workflow"
 )
 
-// Persistence: a Repository serializes to a directory of JSON files —
-// one per spec, policy and execution, plus a manifest and the user
-// registry. The layout matches cmd/provgen's, so generated corpora and
-// saved repositories are interchangeable.
-//
-// Durability: every file is written compact (no indentation), to a
-// temporary file in the target directory, fsynced, and atomically
-// renamed into place — a crash mid-save can truncate no file, and the
-// manifest (written last) only ever references complete files.
+// Persistence rides on internal/storage: each spec shard is one
+// immutable, generation-numbered checkpoint plus an append-only log of
+// typed records, and the manifest — committed atomically *last* — pins
+// every shard to exactly one generation and one committed log extent.
+// A crash (or a concurrent Load) mid-save can therefore only observe
+// the previous fully consistent snapshot, never a mix of generations;
+// this replaces the old layout, whose shard files were renamed over
+// stable names before the manifest and so could tear.
 //
 // Incrementality: shards carry a mutation sequence number; saving twice
-// to the same directory rewrites only the shards mutated in between
-// (file names derive from spec/execution ids, so they are stable across
-// saves). The directory must not be modified externally between
-// incremental saves; saving to a new directory always writes everything.
+// through the same bound store skips clean shards entirely and appends
+// only the delta (new executions, replaced policy/ladders) for dirty
+// ones. Once a shard's log outgrows compactThreshold records, the save
+// folds it into a fresh checkpoint at the new generation instead.
+//
+// Directories written by the pre-log Save (or cmd/provgen's legacy
+// layout) still Load; the first Save migrates them to the log engine.
 
-type manifest struct {
+// compactThreshold is the log length (in records) past which a save
+// folds a shard's log into a fresh checkpoint. Package variable so
+// tests can force compaction cheaply.
+var compactThreshold uint64 = 256
+
+// boundStore is the repository's attachment to one storage backend:
+// the committed generation and, per shard, what the last save wrote —
+// the bookkeeping that makes saves incremental. Guarded by saveMu.
+type boundStore struct {
+	b      storage.Backend
+	key    string
+	gen    uint64
+	shards map[string]*shardSaved
+}
+
+// shardSaved records what the bound store holds for one shard.
+type shardSaved struct {
+	seq    uint64 // shard mutation seq the saved state reflects
+	polGen uint64 // policy generation it reflects
+	// spec identifies the shard instance the saved state belongs to: a
+	// spec removed and re-added under the same id is a new shard (with a
+	// fresh spec object), and deltas against the old one would be bogus.
+	spec        *workflow.Spec
+	ckptGen     uint64 // generation of the shard's checkpoint
+	ckptRecords uint64
+	logLen      uint64 // committed log extent (backend units)
+	logRecs     uint64 // committed log length in records
+	execs       map[string]bool
+}
+
+// Save writes the repository's contents to dir (created if missing),
+// binding to the directory's storage backend on first use: a directory
+// holding a KV store keeps the KV backend, anything else gets flat
+// files. Indexes and caches are not persisted; Load rebuilds them.
+func (r *Repository) Save(dir string) error {
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+	if r.bound == nil || r.bound.key != dir {
+		b, err := openDirBackend(dir)
+		if err != nil {
+			return fmt.Errorf("repo: save: %w", err)
+		}
+		bound, err := newBoundStore(b, dir)
+		if err != nil {
+			b.Close()
+			return fmt.Errorf("repo: save: %w", err)
+		}
+		if r.bound != nil {
+			r.bound.b.Close()
+		}
+		r.bound = bound
+	}
+	if err := r.saveBound(r.bound); err != nil {
+		// A half-applied save leaves the bookkeeping untrustworthy:
+		// drop the binding so the next Save rebinds and rewrites in full.
+		r.bound.b.Close()
+		r.bound = nil
+		return err
+	}
+	return nil
+}
+
+// BindStorage attaches the repository to an already opened backend so
+// subsequent Save(key) calls route through it — the path servers use to
+// start empty (or from a legacy directory) with a chosen backend. Any
+// previous binding is closed. The repository takes ownership of b.
+func (r *Repository) BindStorage(b storage.Backend, key string) error {
+	bound, err := newBoundStore(b, key)
+	if err != nil {
+		return fmt.Errorf("repo: bind storage: %w", err)
+	}
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+	if r.bound != nil {
+		r.bound.b.Close()
+	}
+	r.bound = bound
+	return nil
+}
+
+// CloseStorage releases the bound backend, if any.
+func (r *Repository) CloseStorage() error {
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+	if r.bound == nil {
+		return nil
+	}
+	err := r.bound.b.Close()
+	r.bound = nil
+	return err
+}
+
+// openDirBackend picks the backend a directory was written with.
+func openDirBackend(dir string) (storage.Backend, error) {
+	if _, err := os.Stat(filepath.Join(dir, storage.KVFileName)); err == nil {
+		return storage.OpenKV(dir)
+	}
+	return storage.OpenFlat(dir)
+}
+
+// newBoundStore binds a backend, reading its committed generation. A
+// legacy (pre-log) directory binds with no saved shards: the first save
+// rewrites everything under the log engine and prunes the old files.
+func newBoundStore(b storage.Backend, key string) (*boundStore, error) {
+	meta, err := b.Meta()
+	if errors.Is(err, storage.ErrLegacyLayout) {
+		meta, err = storage.Meta{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &boundStore{b: b, key: key, gen: meta.Generation, shards: make(map[string]*shardSaved)}, nil
+}
+
+// shardSnap is one shard's state captured under its read lock.
+type shardSnap struct {
+	seq    uint64
+	polGen uint64
+	spec   *workflow.Spec
+	pol    *privacy.Policy
+	hs     map[string]*datapriv.Hierarchy
+	execs  []*exec.Execution // sorted by id
+}
+
+func snapshotShardState(sh *shard) shardSnap {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ids := make([]string, 0, len(sh.execs))
+	for id := range sh.execs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	execs := make([]*exec.Execution, len(ids))
+	for i, id := range ids {
+		execs[i] = sh.execs[id]
+	}
+	return shardSnap{
+		seq: sh.seq, polGen: sh.polGen,
+		spec: sh.spec, pol: sh.policy, hs: sh.hierarchies,
+		execs: execs,
+	}
+}
+
+// saveBound runs one save through the bound store. Each shard is locked
+// only while its state is snapshotted, so a long save does not freeze
+// the repository; the commit at the end is the single durability point.
+func (r *Repository) saveBound(bs *boundStore) error {
+	gen := bs.gen + 1
+	meta := storage.Meta{Generation: gen, Shards: make(map[string]storage.ShardInfo)}
+	next := make(map[string]*shardSaved)
+	for _, sid := range r.SpecIDs() {
+		sh := r.shard(sid)
+		if sh == nil {
+			continue // removed while saving
+		}
+		snap := snapshotShardState(sh)
+		prev := bs.shards[sid]
+		if prev != nil && prev.seq == snap.seq {
+			// Clean shard: re-point the new manifest at its existing state.
+			meta.Shards[sid] = prev.info()
+			next[sid] = prev
+			continue
+		}
+		ss, err := bs.writeShard(sid, gen, snap, prev)
+		if err != nil {
+			return err
+		}
+		meta.Shards[sid] = ss.info()
+		next[sid] = ss
+	}
+	users, err := json.Marshal(r.Users())
+	if err != nil {
+		return fmt.Errorf("repo: save users: %w", err)
+	}
+	meta.Users = users
+	if err := bs.b.Commit(meta); err != nil {
+		return err
+	}
+	bs.gen = gen
+	// Only now, with the commit durable, drop removed specs' data.
+	for sid := range bs.shards {
+		if next[sid] == nil {
+			if err := bs.b.DropShard(sid); err != nil {
+				bs.shards = next
+				return err
+			}
+		}
+	}
+	bs.shards = next
+	return nil
+}
+
+func (ss *shardSaved) info() storage.ShardInfo {
+	return storage.ShardInfo{Checkpoint: ss.ckptGen, Records: ss.ckptRecords, LogLen: ss.logLen}
+}
+
+// writeShard persists one dirty shard: an append of the delta records
+// to its existing log when cheap, or a fold into a fresh checkpoint at
+// this save's generation when the shard is new or its log has outgrown
+// compactThreshold.
+func (bs *boundStore) writeShard(sid string, gen uint64, snap shardSnap, prev *shardSaved) (*shardSaved, error) {
+	if prev != nil && prev.spec == snap.spec {
+		recs, err := deltaRecords(sid, snap, prev)
+		if err != nil {
+			return nil, err
+		}
+		if prev.logRecs+uint64(len(recs)) <= compactThreshold {
+			logLen := prev.logLen
+			if len(recs) > 0 {
+				logLen, err = bs.b.Append(sid, prev.ckptGen, prev.logLen, recs)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return &shardSaved{
+				seq: snap.seq, polGen: snap.polGen, spec: snap.spec,
+				ckptGen: prev.ckptGen, ckptRecords: prev.ckptRecords,
+				logLen: logLen, logRecs: prev.logRecs + uint64(len(recs)),
+				execs: execSet(snap.execs),
+			}, nil
+		}
+		// Log outgrown: fall through to compaction.
+	}
+	recs, err := checkpointRecords(sid, snap)
+	if err != nil {
+		return nil, err
+	}
+	if err := bs.b.WriteCheckpoint(sid, gen, recs); err != nil {
+		return nil, err
+	}
+	return &shardSaved{
+		seq: snap.seq, polGen: snap.polGen, spec: snap.spec,
+		ckptGen: gen, ckptRecords: uint64(len(recs)),
+		execs: execSet(snap.execs),
+	}, nil
+}
+
+func execSet(execs []*exec.Execution) map[string]bool {
+	s := make(map[string]bool, len(execs))
+	for _, e := range execs {
+		s[e.ID] = true
+	}
+	return s
+}
+
+// checkpointRecords folds a shard snapshot into its full record
+// sequence: spec, policy, ladders (when present), then executions.
+func checkpointRecords(sid string, snap shardSnap) ([]storage.Record, error) {
+	recs := make([]storage.Record, 0, 3+len(snap.execs))
+	data, err := json.Marshal(snap.spec)
+	if err != nil {
+		return nil, fmt.Errorf("repo: encode spec %s: %w", sid, err)
+	}
+	recs = append(recs, storage.Record{Type: storage.RecSpec, Key: sid, Data: data})
+	pr, err := policyRecords(sid, snap.pol, snap.hs, len(snap.hs) > 0)
+	if err != nil {
+		return nil, err
+	}
+	recs = append(recs, pr...)
+	for _, e := range snap.execs {
+		rec, err := execRecord(e)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// deltaRecords renders what changed since the previous save: replaced
+// policy/ladders (replayed last-wins) and executions the store has not
+// seen. Specs are immutable once registered, so no spec record.
+func deltaRecords(sid string, snap shardSnap, prev *shardSaved) ([]storage.Record, error) {
+	var recs []storage.Record
+	if prev.polGen != snap.polGen {
+		// Always pair the ladder record with the policy record here: a
+		// SetGeneralization back to nil must clear the stored ladders.
+		pr, err := policyRecords(sid, snap.pol, snap.hs, true)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, pr...)
+	}
+	for _, e := range snap.execs {
+		if prev.execs[e.ID] {
+			continue
+		}
+		rec, err := execRecord(e)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func policyRecords(sid string, pol *privacy.Policy, hs map[string]*datapriv.Hierarchy, withHier bool) ([]storage.Record, error) {
+	data, err := json.Marshal(pol)
+	if err != nil {
+		return nil, fmt.Errorf("repo: encode policy %s: %w", sid, err)
+	}
+	recs := []storage.Record{{Type: storage.RecPolicy, Key: sid, Data: data}}
+	if withHier {
+		hdata, err := json.Marshal(hs)
+		if err != nil {
+			return nil, fmt.Errorf("repo: encode hierarchies %s: %w", sid, err)
+		}
+		recs = append(recs, storage.Record{Type: storage.RecHier, Key: sid, Data: hdata})
+	}
+	return recs, nil
+}
+
+func execRecord(e *exec.Execution) (storage.Record, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return storage.Record{}, fmt.Errorf("repo: encode execution %s: %w", e.ID, err)
+	}
+	return storage.Record{Type: storage.RecExec, Key: e.ID, Data: data}, nil
+}
+
+// Load reads a repository directory into a fresh Repository, validating
+// everything and rebuilding the indexes. It understands both log-engine
+// layouts (flat files and the KV store, distinguished by the store.kv
+// data file) and the legacy pre-log layout of older Saves and
+// cmd/provgen — the latter read-only: the first Save migrates it.
+func Load(dir string) (*Repository, error) {
+	if _, err := os.Stat(filepath.Join(dir, storage.KVFileName)); err == nil {
+		b, err := storage.OpenKV(dir)
+		if err != nil {
+			return nil, fmt.Errorf("repo: load: %w", err)
+		}
+		r, err := LoadStorage(b, dir)
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+		return r, nil
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		return nil, fmt.Errorf("repo: load: %w", err)
+	}
+	b, err := storage.OpenFlat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("repo: load: %w", err)
+	}
+	r, err := LoadStorage(b, dir)
+	if errors.Is(err, storage.ErrLegacyLayout) {
+		b.Close()
+		return loadLegacy(dir)
+	}
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadedShard accumulates one shard's records during replay. Policy,
+// ladder and duplicate execution records are last-wins, matching the
+// append-log semantics.
+type loadedShard struct {
+	spec    *workflow.Spec
+	pol     *privacy.Policy
+	hs      map[string]*datapriv.Hierarchy
+	execIDs []string
+	execs   map[string]*exec.Execution
+	logRecs uint64
+}
+
+func (l *loadedShard) apply(sid string, rec storage.Record) error {
+	switch rec.Type {
+	case storage.RecSpec:
+		s, err := workflow.UnmarshalSpec(rec.Data)
+		if err != nil {
+			return err
+		}
+		if s.ID != sid {
+			return fmt.Errorf("repo: load: shard %q holds spec %q: %w", sid, s.ID, storage.ErrCorrupt)
+		}
+		l.spec = s
+	case storage.RecPolicy:
+		pol := &privacy.Policy{}
+		if err := json.Unmarshal(rec.Data, pol); err != nil {
+			return fmt.Errorf("repo: load policy of %s: %w", sid, err)
+		}
+		if pol.SpecID != sid {
+			return fmt.Errorf("repo: load: shard %q holds policy for %q: %w", sid, pol.SpecID, storage.ErrCorrupt)
+		}
+		l.pol = pol
+	case storage.RecHier:
+		var hs map[string]*datapriv.Hierarchy
+		if err := json.Unmarshal(rec.Data, &hs); err != nil {
+			return fmt.Errorf("repo: load hierarchies of %s: %w", sid, err)
+		}
+		l.hs = hs
+	case storage.RecExec:
+		e, err := exec.UnmarshalExecution(rec.Data)
+		if err != nil {
+			return err
+		}
+		if _, dup := l.execs[e.ID]; !dup {
+			l.execIDs = append(l.execIDs, e.ID)
+		}
+		l.execs[e.ID] = e
+	default:
+		return fmt.Errorf("repo: load: record type %v in shard %s: %w", rec.Type, sid, storage.ErrCorrupt)
+	}
+	return nil
+}
+
+// LoadStorage builds a Repository from an opened backend and binds it,
+// so subsequent Save(key) calls are incremental appends to the same
+// store. The repository takes ownership of b on success.
+func LoadStorage(b storage.Backend, key string) (*Repository, error) {
+	meta, err := b.Meta()
+	if err != nil {
+		return nil, err
+	}
+	sids := make([]string, 0, len(meta.Shards))
+	for sid := range meta.Shards {
+		sids = append(sids, sid)
+	}
+	sort.Strings(sids)
+	shards := make(map[string]*loadedShard, len(sids))
+	for _, sid := range sids {
+		info := meta.Shards[sid]
+		l := &loadedShard{execs: make(map[string]*exec.Execution)}
+		if err := b.ReadCheckpoint(sid, info.Checkpoint, info.Records, func(rec storage.Record) error {
+			return l.apply(sid, rec)
+		}); err != nil {
+			return nil, fmt.Errorf("repo: load %s: %w", sid, err)
+		}
+		if err := b.ReplayLog(sid, info.Checkpoint, info.LogLen, func(rec storage.Record) error {
+			l.logRecs++
+			return l.apply(sid, rec)
+		}); err != nil {
+			return nil, fmt.Errorf("repo: load %s: %w", sid, err)
+		}
+		if l.spec == nil {
+			return nil, fmt.Errorf("repo: load: shard %q has no spec record: %w", sid, storage.ErrCorrupt)
+		}
+		shards[sid] = l
+	}
+	// Bulk ingest: register every shard first, then build each shared
+	// index exactly once — per-spec AddSpec would copy the index
+	// snapshot on every call, turning a large load quadratic.
+	r := New()
+	specs := make([]*workflow.Spec, 0, len(sids))
+	pols := make(map[string]*privacy.Policy, len(sids))
+	for _, sid := range sids {
+		l := shards[sid]
+		if err := r.loadSpec(l.spec, l.pol); err != nil {
+			return nil, err
+		}
+		if len(l.hs) > 0 {
+			// Private repository (no locks needed yet): install the ladders
+			// and rebuild the masking engine they parameterize.
+			sh := r.shards[sid]
+			sh.hierarchies = l.hs
+			sh.engine = datapriv.NewMasker(sh.policy, l.hs).Engine()
+		}
+		specs = append(specs, l.spec)
+		if l.pol != nil {
+			pols[sid] = l.pol
+		}
+	}
+	r.inverted = index.BuildInverted(specs, pols)
+	reach, err := index.BuildReach(specs)
+	if err != nil {
+		return nil, err
+	}
+	r.reach = reach
+	for _, sid := range sids {
+		l := shards[sid]
+		for _, id := range l.execIDs {
+			if err := r.AddExecution(l.execs[id]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(meta.Users) > 0 {
+		var users []privacy.User
+		if err := json.Unmarshal(meta.Users, &users); err != nil {
+			return nil, fmt.Errorf("repo: load users: %w", err)
+		}
+		for _, u := range users {
+			r.AddUser(u)
+		}
+	}
+	// Prime the incremental-save bookkeeping from the state just loaded,
+	// so the first Save back to this store skips every clean shard.
+	bound := &boundStore{b: b, key: key, gen: meta.Generation, shards: make(map[string]*shardSaved)}
+	for _, sid := range sids {
+		l := shards[sid]
+		info := meta.Shards[sid]
+		sh := r.shard(sid)
+		sh.mu.RLock()
+		seq, polGen := sh.seq, sh.polGen
+		sh.mu.RUnlock()
+		es := make(map[string]bool, len(l.execIDs))
+		for _, id := range l.execIDs {
+			es[id] = true
+		}
+		bound.shards[sid] = &shardSaved{
+			seq: seq, polGen: polGen, spec: l.spec,
+			ckptGen: info.Checkpoint, ckptRecords: info.Records,
+			logLen: info.LogLen, logRecs: l.logRecs,
+			execs: es,
+		}
+	}
+	r.bound = bound
+	return r, nil
+}
+
+// legacyManifest is the pre-log manifest shape: parallel file-name
+// lists plus the user registry.
+type legacyManifest struct {
 	Specs      []string       `json:"specs"`
 	Policies   []string       `json:"policies,omitempty"`
 	Executions []string       `json:"executions"`
 	Users      []privacy.User `json:"users,omitempty"`
 }
 
-// Save writes the repository's contents to dir (created if missing).
-// Indexes and caches are not persisted; Load rebuilds them. Each shard
-// is locked only while its own files are written, so a long save does
-// not freeze the whole repository; shards unchanged since the previous
-// Save to the same dir are skipped entirely.
-func (r *Repository) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("repo: save: %w", err)
-	}
-	r.saveMu.Lock()
-	defer r.saveMu.Unlock()
-	if r.lastSaveDir != dir || r.savedSeqs == nil {
-		r.savedSeqs = make(map[string]uint64)
-		r.lastSaveDir = dir
-	}
-	live := make(map[string]bool)
-	var man manifest
-	for _, sid := range r.SpecIDs() {
-		sh := r.shard(sid)
-		if sh == nil {
-			continue // removed while saving
-		}
-		sh.mu.RLock()
-		seq := sh.seq
-		spec, pol := sh.spec, sh.policy
-		execIDs := make([]string, 0, len(sh.execs))
-		for id := range sh.execs {
-			execIDs = append(execIDs, id)
-		}
-		sort.Strings(execIDs)
-		execs := make([]*exec.Execution, len(execIDs))
-		for j, id := range execIDs {
-			execs[j] = sh.execs[id]
-		}
-		sh.mu.RUnlock()
-
-		base := fileBase(sid)
-		specPath := "spec-" + base + ".json"
-		polPath := "policy-" + base + ".json"
-		man.Specs = append(man.Specs, specPath)
-		man.Policies = append(man.Policies, polPath)
-		execPaths := make([]string, len(execIDs))
-		for j, id := range execIDs {
-			execPaths[j] = "exec-" + base + "-" + fileBase(id) + ".json"
-		}
-		man.Executions = append(man.Executions, execPaths...)
-		live[sid] = true
-
-		if r.savedSeqs[sid] == seq {
-			continue // shard untouched since the last save to this dir
-		}
-		if err := writeJSON(filepath.Join(dir, specPath), spec); err != nil {
-			return err
-		}
-		if err := writeJSON(filepath.Join(dir, polPath), pol); err != nil {
-			return err
-		}
-		for j, e := range execs {
-			if err := writeJSON(filepath.Join(dir, execPaths[j]), e); err != nil {
-				return err
-			}
-		}
-		r.savedSeqs[sid] = seq
-	}
-	for sid := range r.savedSeqs {
-		if !live[sid] {
-			delete(r.savedSeqs, sid) // spec removed: forget its seq
-		}
-	}
-	man.Users = append(man.Users, r.Users()...)
-	// Durability ordering: make the shard-file renames durable before
-	// the manifest that references them is renamed into place, then make
-	// the manifest durable before pruning. A crash at any point leaves a
-	// manifest whose files all exist (old or new); lost prune unlinks
-	// merely leave unreferenced orphans for the next Save.
-	if err := syncDir(dir); err != nil {
-		return err
-	}
-	if err := writeJSON(filepath.Join(dir, "manifest.json"), man); err != nil {
-		return err
-	}
-	if err := syncDir(dir); err != nil {
-		return err
-	}
-	pruneOrphans(dir, man)
-	return nil
-}
-
-// syncDir fsyncs a directory so preceding renames in it survive a
-// crash. Platforms that reject fsync on directories are tolerated.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("repo: sync %s: %w", dir, err)
-	}
-	defer d.Close()
-	// Best-effort on platforms that reject fsync on directories (or on
-	// read-only directory handles, as on Windows): only unexpected
-	// errors fail the save.
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) &&
-		!errors.Is(err, syscall.ENOTSUP) && !errors.Is(err, os.ErrPermission) {
-		return fmt.Errorf("repo: sync %s: %w", dir, err)
-	}
-	return nil
-}
-
-// pruneOrphans deletes repository-layout files (spec-/policy-/exec-
-// *.json) the freshly written manifest no longer references — the
-// on-disk remains of removed specs. Only files matching our naming
-// scheme are touched; removal failures are ignored (orphans are
-// harmless to Load, which reads via the manifest).
-func pruneOrphans(dir string, man manifest) {
-	referenced := make(map[string]bool,
-		len(man.Specs)+len(man.Policies)+len(man.Executions)+1)
-	for _, paths := range [][]string{man.Specs, man.Policies, man.Executions} {
-		for _, p := range paths {
-			referenced[p] = true
-		}
-	}
-	referenced["manifest.json"] = true
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || referenced[name] || !strings.HasSuffix(name, ".json") {
-			continue
-		}
-		if strings.HasPrefix(name, "spec-") || strings.HasPrefix(name, "policy-") ||
-			strings.HasPrefix(name, "exec-") {
-			os.Remove(filepath.Join(dir, name))
-		}
-	}
-}
-
-// fileBase derives a stable, filesystem-safe file-name stem from an id:
-// the sanitized id (truncated) plus a 64-bit FNV hash of the raw id, so
-// distinct ids sharing a sanitized prefix are kept apart (collision odds
-// ~2^-64 per pair; not adversarially safe, but Load validates content).
-func fileBase(id string) string {
-	var b strings.Builder
-	for _, r := range id {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '-', r == '_', r == '.':
-			b.WriteRune(r)
-		default:
-			b.WriteByte('_')
-		}
-		if b.Len() >= 40 {
-			break
-		}
-	}
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	return fmt.Sprintf("%s-%016x", b.String(), h.Sum64())
-}
-
-// writeJSON writes v as compact JSON via a temp file and atomic rename,
-// so readers (and crash recovery) never observe a partially written
-// file.
-func writeJSON(path string, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("repo: encode %s: %w", filepath.Base(path), err)
-	}
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("repo: write %s: %w", base, err)
-	}
-	_, werr := tmp.Write(data)
-	if werr == nil {
-		werr = tmp.Sync()
-	}
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Chmod(tmp.Name(), 0o644)
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), path)
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("repo: write %s: %w", base, werr)
-	}
-	return nil
-}
-
-// Load reads a repository directory (written by Save or cmd/provgen)
-// into a fresh Repository, validating everything and rebuilding the
-// indexes.
-func Load(dir string) (*Repository, error) {
+// loadLegacy reads the pre-log layout: per-entity JSON files listed by
+// the manifest. Specs and policies are parallel lists; a manifest with
+// some but not all policies is rejected rather than silently assigning
+// all-public policies to the tail, and each policy must name the spec
+// it is paired with — a partially populated manifest must not mis-grant
+// access.
+func loadLegacy(dir string) (*Repository, error) {
 	manData, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("repo: load: %w", err)
 	}
-	var man manifest
+	var man legacyManifest
 	if err := json.Unmarshal(manData, &man); err != nil {
 		return nil, fmt.Errorf("repo: load manifest: %w", err)
 	}
+	if len(man.Policies) != 0 && len(man.Policies) != len(man.Specs) {
+		return nil, fmt.Errorf("repo: load: manifest pairs %d specs with %d policies", len(man.Specs), len(man.Policies))
+	}
 	r := New()
-	// Bulk ingest: register every shard first, then build each shared
-	// index exactly once — per-spec AddSpec would copy the index
-	// snapshot on every call, turning a large load quadratic.
 	specs := make([]*workflow.Spec, 0, len(man.Specs))
 	pols := make(map[string]*privacy.Policy, len(man.Specs))
 	for i, specPath := range man.Specs {
@@ -261,7 +588,7 @@ func Load(dir string) (*Repository, error) {
 			return nil, err
 		}
 		var pol *privacy.Policy
-		if i < len(man.Policies) {
+		if len(man.Policies) != 0 {
 			pdata, err := os.ReadFile(filepath.Join(dir, man.Policies[i]))
 			if err != nil {
 				return nil, fmt.Errorf("repo: load: %w", err)
@@ -269,6 +596,10 @@ func Load(dir string) (*Repository, error) {
 			pol = &privacy.Policy{}
 			if err := json.Unmarshal(pdata, pol); err != nil {
 				return nil, fmt.Errorf("repo: load policy %s: %w", man.Policies[i], err)
+			}
+			if pol.SpecID != spec.ID {
+				return nil, fmt.Errorf("repo: load: manifest pairs spec %q with policy for %q (%s)",
+					spec.ID, pol.SpecID, man.Policies[i])
 			}
 		}
 		if err := r.loadSpec(spec, pol); err != nil {

@@ -1,0 +1,593 @@
+package repo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/privacy"
+	"provpriv/internal/storage"
+	"provpriv/internal/workload"
+)
+
+// crashFixture builds the three-spec repository the crash tests save:
+// v1 state is one execution per shard and the synthetic policy (which
+// always carries module levels).
+func crashFixture(t *testing.T) *Repository {
+	t.Helper()
+	r := New()
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("s%d", i)
+		_, add := makeSynthSpec(t, int64(i), id)
+		add(r)
+		s := r.Spec(id)
+		e, err := exec.NewRunner(s, nil).Run(id+"-E0", workload.RandomInputs(s, int64(i)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			t.Fatalf("AddExecution: %v", err)
+		}
+	}
+	r.AddUser(privacy.User{Name: "ana", Level: privacy.Analyst, Group: "g"})
+	return r
+}
+
+// mutateToV2 moves every shard to its v2 state: a second execution and
+// an all-public replacement policy (module levels cleared — the marker
+// snapshotVersion keys on).
+func mutateToV2(t *testing.T, r *Repository) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		sid := fmt.Sprintf("s%d", i)
+		s := r.Spec(sid)
+		e, err := exec.NewRunner(s, nil).Run(sid+"-E1", workload.RandomInputs(s, int64(100+i)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			t.Fatalf("AddExecution: %v", err)
+		}
+		if err := r.UpdatePolicy(sid, nil); err != nil {
+			t.Fatalf("UpdatePolicy: %v", err)
+		}
+	}
+}
+
+// snapshotVersion classifies a loaded repository as all-v1 or all-v2
+// and fails the test on any mixed-generation state — the torn-snapshot
+// condition this PR exists to rule out.
+func snapshotVersion(t *testing.T, r *Repository) int {
+	t.Helper()
+	ver := 0
+	for i := 0; i < 3; i++ {
+		sid := fmt.Sprintf("s%d", i)
+		sh := r.shard(sid)
+		if sh == nil {
+			t.Fatalf("shard %s missing after load", sid)
+		}
+		sh.mu.RLock()
+		execN, mods := len(sh.execs), len(sh.policy.ModuleLevels)
+		sh.mu.RUnlock()
+		var v int
+		switch {
+		case execN == 1 && mods > 0:
+			v = 1
+		case execN == 2 && mods == 0:
+			v = 2
+		default:
+			t.Fatalf("shard %s torn: %d execs with %d module levels", sid, execN, mods)
+		}
+		if ver == 0 {
+			ver = v
+		} else if v != ver {
+			t.Fatalf("mixed generations: shard %s is v%d, earlier shards v%d", sid, v, ver)
+		}
+	}
+	return ver
+}
+
+// TestTornSnapshotKillMatrix is the regression test for the
+// torn-snapshot bug: a save of a multi-shard v2 snapshot is killed at
+// every backend call boundary — before and after each shard write and
+// the manifest commit — and after every injected crash the directory
+// must load as a single consistent generation: complete v1 until the
+// commit lands, complete v2 once it has. A recovery save must then
+// bring the directory fully to v2.
+func TestTornSnapshotKillMatrix(t *testing.T) {
+	type kp struct {
+		op    string
+		n     int
+		after bool
+	}
+	points := func(op string, calls int) []kp {
+		var ps []kp
+		for n := 1; n <= calls; n++ {
+			ps = append(ps, kp{op, n, false}, kp{op, n, true})
+		}
+		ps = append(ps, kp{storage.OpCommit, 1, false}, kp{storage.OpCommit, 1, true})
+		return ps
+	}
+	variants := []struct {
+		name      string
+		threshold uint64 // compactThreshold during the v2 save
+		points    []kp
+	}{
+		// Small logs: the v2 save appends each shard's delta.
+		{"delta-appends", 256, points(storage.OpAppend, 3)},
+		// Threshold zero: the v2 save folds every shard into a fresh
+		// generation-2 checkpoint.
+		{"checkpoint-folds", 0, points(storage.OpWriteCheckpoint, 3)},
+	}
+	backends := map[string]func(dir string) (storage.Backend, error){
+		"flat": func(dir string) (storage.Backend, error) { return storage.OpenFlat(dir) },
+		"kv":   func(dir string) (storage.Backend, error) { return storage.OpenKV(dir) },
+	}
+	for bname, open := range backends {
+		for _, v := range variants {
+			t.Run(bname+"/"+v.name, func(t *testing.T) {
+				oldThreshold := compactThreshold
+				compactThreshold = v.threshold
+				defer func() { compactThreshold = oldThreshold }()
+				for _, p := range v.points {
+					mode := "before"
+					if p.after {
+						mode = "after"
+					}
+					t.Run(fmt.Sprintf("%s-%s-%d", mode, p.op, p.n), func(t *testing.T) {
+						dir := t.TempDir()
+						r := crashFixture(t)
+						base, err := open(dir)
+						if err != nil {
+							t.Fatalf("open backend: %v", err)
+						}
+						f := storage.NewFault(base)
+						if err := r.BindStorage(f, dir); err != nil {
+							t.Fatalf("BindStorage: %v", err)
+						}
+						if err := r.Save(dir); err != nil {
+							t.Fatalf("v1 save: %v", err)
+						}
+						mutateToV2(t, r)
+						// Kill points are relative to the v2 save: offset by the
+						// calls the v1 save already made.
+						n := f.Calls(p.op) + p.n
+						if p.after {
+							f.KillAfter(p.op, n)
+						} else {
+							f.KillBefore(p.op, n)
+						}
+						if err := r.Save(dir); err == nil {
+							t.Fatalf("kill point %s %s #%d never fired", mode, p.op, p.n)
+						}
+						r2, err := Load(dir)
+						if err != nil {
+							t.Fatalf("Load after injected crash: %v", err)
+						}
+						got := snapshotVersion(t, r2)
+						r2.CloseStorage()
+						want := 1
+						if p.op == storage.OpCommit && p.after {
+							// The manifest landed before the crash: v2 is committed.
+							want = 2
+						}
+						if got != want {
+							t.Fatalf("loaded v%d after crash %s %s #%d, want v%d", got, mode, p.op, p.n, want)
+						}
+						// The failed save dropped the binding; a fresh save must
+						// recover the directory to complete v2.
+						if err := r.Save(dir); err != nil {
+							t.Fatalf("recovery save: %v", err)
+						}
+						r3, err := Load(dir)
+						if err != nil {
+							t.Fatalf("Load after recovery: %v", err)
+						}
+						if got := snapshotVersion(t, r3); got != 2 {
+							t.Fatalf("recovery save left v%d, want v2", got)
+						}
+						r3.CloseStorage()
+						r.CloseStorage()
+					})
+				}
+			})
+		}
+	}
+}
+
+// TestLoadDuringSaveSingleGeneration interleaves concurrent Loads with
+// a writer that keeps adding one execution to every shard and saving:
+// each successful Load must observe the same execution count on every
+// shard — one committed generation, never a cross-shard mix. The
+// compaction threshold is lowered so checkpoint folds and pruning
+// happen mid-churn; a reader that falls more than one commit behind may
+// lose its files to pruning and is allowed to retry.
+func TestLoadDuringSaveSingleGeneration(t *testing.T) {
+	oldThreshold := compactThreshold
+	compactThreshold = 5
+	defer func() { compactThreshold = oldThreshold }()
+	for _, backend := range []string{"flat", "kv"} {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			r := crashFixture(t)
+			if backend == "kv" {
+				b, err := storage.OpenKV(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.BindStorage(b, dir); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := r.Save(dir); err != nil {
+				t.Fatalf("initial save: %v", err)
+			}
+			defer r.CloseStorage()
+			const rounds = 8
+			var wg sync.WaitGroup
+			var loads atomic.Int64
+			done := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(done)
+				for v := 1; v <= rounds; v++ {
+					for i := 0; i < 3; i++ {
+						sid := fmt.Sprintf("s%d", i)
+						s := r.Spec(sid)
+						e, err := exec.NewRunner(s, nil).Run(
+							fmt.Sprintf("%s-E%d", sid, v), workload.RandomInputs(s, int64(100*v+i)))
+						if err != nil {
+							t.Errorf("Run: %v", err)
+							return
+						}
+						if err := r.AddExecution(e); err != nil {
+							t.Errorf("AddExecution: %v", err)
+							return
+						}
+					}
+					if err := r.Save(dir); err != nil {
+						t.Errorf("save round %d: %v", v, err)
+						return
+					}
+				}
+			}()
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						r2, err := Load(dir)
+						if err != nil {
+							continue // pruned under us: >1 commit behind, retry
+						}
+						want := -1
+						for i := 0; i < 3; i++ {
+							sh := r2.shard(fmt.Sprintf("s%d", i))
+							if sh == nil {
+								t.Error("loaded repo missing a shard")
+								return
+							}
+							sh.mu.RLock()
+							n := len(sh.execs)
+							sh.mu.RUnlock()
+							if want == -1 {
+								want = n
+							} else if n != want {
+								t.Errorf("mixed generations: shard s%d has %d execs, s0 has %d", i, n, want)
+								return
+							}
+						}
+						r2.CloseStorage()
+						loads.Add(1)
+					}
+				}()
+			}
+			wg.Wait()
+			if loads.Load() == 0 {
+				t.Fatal("no concurrent Load ever succeeded")
+			}
+		})
+	}
+}
+
+// writeLegacyDir writes a pre-log-layout directory by hand: per-entity
+// JSON files plus the parallel-list manifest, exactly what the old Save
+// and cmd/provgen's legacy mode produced.
+func writeLegacyDir(t *testing.T, dir string, man legacyManifest, files map[string]interface{}) {
+	t.Helper()
+	for name, v := range files {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// legacyFixture builds two specs with policies and one execution each,
+// returning the manifest and file map for writeLegacyDir.
+func legacyFixture(t *testing.T) (legacyManifest, map[string]interface{}) {
+	t.Helper()
+	man := legacyManifest{
+		Users: []privacy.User{{Name: "ana", Level: privacy.Analyst, Group: "g"}},
+	}
+	files := make(map[string]interface{})
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("s%d", i)
+		s, err := workload.RandomSpec(workload.SpecConfig{
+			Seed: int64(i), ID: id, Depth: 3, Fanout: 2, Chain: 4, SkipProb: 0.2,
+		})
+		if err != nil {
+			t.Fatalf("RandomSpec: %v", err)
+		}
+		pol := privacy.NewPolicy(id)
+		for _, wid := range s.WorkflowIDs() {
+			pol.ModuleLevels[s.Workflows[wid].Modules[0].ID] = privacy.Analyst
+			break
+		}
+		e, err := exec.NewRunner(s, nil).Run(id+"-E0", workload.RandomInputs(s, int64(i)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		specFile := fmt.Sprintf("spec-%d.json", i)
+		polFile := fmt.Sprintf("policy-%d.json", i)
+		execFile := fmt.Sprintf("exec-%d-0.json", i)
+		files[specFile], files[polFile], files[execFile] = s, pol, e
+		man.Specs = append(man.Specs, specFile)
+		man.Policies = append(man.Policies, polFile)
+		man.Executions = append(man.Executions, execFile)
+	}
+	return man, files
+}
+
+// TestLegacyDirectoryLoadsAndMigrates: a pre-log directory still loads,
+// and the first Save migrates it to the log engine — committing the new
+// layout and pruning every legacy per-entity file.
+func TestLegacyDirectoryLoadsAndMigrates(t *testing.T) {
+	dir := t.TempDir()
+	man, files := legacyFixture(t)
+	writeLegacyDir(t, dir, man, files)
+
+	r, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load legacy: %v", err)
+	}
+	before := r.Stats().Content()
+	if before.Specs != 2 || before.Executions != 2 {
+		t.Fatalf("legacy load content = %+v", before)
+	}
+	sh := r.shard("s0")
+	sh.mu.RLock()
+	mods := len(sh.policy.ModuleLevels)
+	sh.mu.RUnlock()
+	if mods == 0 {
+		t.Fatal("legacy policy not honored")
+	}
+
+	// Migration: saving back rewrites the directory under the log engine.
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("migrating save: %v", err)
+	}
+	defer r.CloseStorage()
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"format"`) {
+		t.Fatalf("manifest not migrated to log format:\n%s", data)
+	}
+	for name := range files {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("legacy file %s survived migration (err=%v)", name, err)
+		}
+	}
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load after migration: %v", err)
+	}
+	if after := r2.Stats().Content(); after != before {
+		t.Fatalf("migration changed content: %+v vs %+v", after, before)
+	}
+	r2.CloseStorage()
+}
+
+// TestLegacyManifestPolicyCountMismatch: a legacy manifest with fewer
+// policies than specs used to silently assign all-public policies to
+// the positional tail — it must be rejected instead.
+func TestLegacyManifestPolicyCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	man, files := legacyFixture(t)
+	man.Policies = man.Policies[:1]
+	writeLegacyDir(t, dir, man, files)
+	_, err := Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "pairs 2 specs with 1 policies") {
+		t.Fatalf("short policy list accepted (err=%v)", err)
+	}
+}
+
+// TestLegacyManifestPolicySpecMismatch: each legacy policy must name
+// the spec it is positionally paired with; swapped policy files would
+// otherwise silently mis-grant access.
+func TestLegacyManifestPolicySpecMismatch(t *testing.T) {
+	dir := t.TempDir()
+	man, files := legacyFixture(t)
+	man.Policies[0], man.Policies[1] = man.Policies[1], man.Policies[0]
+	writeLegacyDir(t, dir, man, files)
+	_, err := Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "policy for") {
+		t.Fatalf("mispaired policy accepted (err=%v)", err)
+	}
+}
+
+// TestSaveCompactionFoldsLog: once a shard's log outgrows the
+// threshold, the next save folds checkpoint + log into a fresh
+// checkpoint at the new generation with an empty log.
+func TestSaveCompactionFoldsLog(t *testing.T) {
+	oldThreshold := compactThreshold
+	compactThreshold = 2
+	defer func() { compactThreshold = oldThreshold }()
+	dir := t.TempDir()
+	r := New()
+	_, add := makeSynthSpec(t, 1, "s")
+	add(r)
+	s := r.Spec("s")
+	for i := 0; i < 4; i++ {
+		e, err := exec.NewRunner(s, nil).Run(fmt.Sprintf("s-E%d", i), workload.RandomInputs(s, int64(i)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			t.Fatalf("AddExecution: %v", err)
+		}
+		if err := r.Save(dir); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	r.CloseStorage()
+	// Saves 1-3: checkpoint at gen 1, then two appends (log at 2
+	// records). Save 4 would push the log to 3 > threshold: it must fold
+	// into a gen-4 checkpoint with an empty log.
+	b, err := storage.OpenFlat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := b.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	info, ok := meta.Shards["s"]
+	if !ok {
+		t.Fatalf("no shard in manifest: %+v", meta)
+	}
+	if info.Checkpoint != 4 || info.LogLen != 0 {
+		t.Fatalf("log not folded: checkpoint gen %d, log len %d", info.Checkpoint, info.LogLen)
+	}
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load after fold: %v", err)
+	}
+	defer r2.CloseStorage()
+	sh := r2.shard("s")
+	sh.mu.RLock()
+	n := len(sh.execs)
+	sh.mu.RUnlock()
+	if n != 4 {
+		t.Fatalf("fold lost executions: %d, want 4", n)
+	}
+}
+
+// TestKVBackendSaveLoadRoundTrip: a repository bound to the KV backend
+// saves into the single store.kv file, Load sniffs the backend from the
+// directory, and incremental saves keep working across the round trip.
+func TestKVBackendSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := crashFixture(t)
+	b, err := storage.OpenKV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindStorage(b, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r.CloseStorage()
+	if _, err := os.Stat(filepath.Join(dir, storage.KVFileName)); err != nil {
+		t.Fatalf("no KV data file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); !os.IsNotExist(err) {
+		t.Fatalf("KV backend wrote flat-layout files (err=%v)", err)
+	}
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got, want := r2.Stats().Content(), r.Stats().Content(); got != want {
+		t.Fatalf("KV round trip: %+v vs %+v", got, want)
+	}
+	// The loaded repository is bound: an incremental save appends.
+	s := r2.Spec("s0")
+	e, err := exec.NewRunner(s, nil).Run("s0-E9", workload.RandomInputs(s, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.AddExecution(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Save(dir); err != nil {
+		t.Fatalf("incremental KV save: %v", err)
+	}
+	r2.CloseStorage()
+	r3, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load after incremental save: %v", err)
+	}
+	defer r3.CloseStorage()
+	sh := r3.shard("s0")
+	sh.mu.RLock()
+	n := len(sh.execs)
+	sh.mu.RUnlock()
+	if n != 2 {
+		t.Fatalf("incremental KV save lost the execution: %d execs", n)
+	}
+}
+
+// TestGeneralizationPersists: installed ladders survive the save/load
+// round trip — a loaded repository generalizes instead of redacting,
+// exactly like the one that saved it. (Before the log engine, ladders
+// were never persisted at all.)
+func TestGeneralizationPersists(t *testing.T) {
+	r := seededRepo(t)
+	if err := r.SetGeneralization("disease-susceptibility", snpsLadder()); err != nil {
+		t.Fatalf("SetGeneralization: %v", err)
+	}
+	dir := t.TempDir()
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer r2.CloseStorage()
+	snpID := itemByAttr(t, r, "snps")
+	progID := itemByAttr(t, r, "prognosis")
+	want, err := r.Provenance("bob", "disease-susceptibility", "E1", progID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.Provenance("bob", "disease-susceptibility", "E1", progID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi, gi := want.Items[snpID], got.Items[snpID]
+	if wi == nil || gi == nil {
+		t.Fatalf("snps item missing: %v vs %v", wi, gi)
+	}
+	if gi.Redacted || gi.Value != wi.Value || gi.Value == "rs1" {
+		t.Fatalf("ladders lost in round trip: loaded %+v, want %+v", gi, wi)
+	}
+}

@@ -69,38 +69,29 @@ func TestLoadCorruptManifest(t *testing.T) {
 	}
 }
 
-func TestLoadCorruptSpec(t *testing.T) {
+func TestLoadCorruptCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	r := seededRepo(t)
 	if err := r.Save(dir); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	// Corrupt the first spec file the manifest references (file names
-	// derive from spec ids, so resolve them through the manifest).
-	manData, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
-	if err != nil {
-		t.Fatal(err)
+	// Damage a committed checkpoint: the CRC framing must reject it as
+	// corruption, never load a truncated shard silently.
+	ckpts, err := filepath.Glob(filepath.Join(dir, "ckpt-*.log"))
+	if err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoint files written (err=%v)", err)
 	}
-	var man struct {
-		Specs []string `json:"specs"`
-	}
-	if err := json.Unmarshal(manData, &man); err != nil {
-		t.Fatal(err)
-	}
-	if len(man.Specs) == 0 {
-		t.Fatal("manifest lists no specs")
-	}
-	if err := os.WriteFile(filepath.Join(dir, man.Specs[0]), []byte("{"), 0o644); err != nil {
+	if err := os.WriteFile(ckpts[0], []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir); err == nil {
-		t.Fatal("corrupt spec accepted")
+		t.Fatal("corrupt checkpoint accepted")
 	}
 }
 
-func TestSaveIsLoadableByProvgenFormat(t *testing.T) {
-	// The manifest layout matches cmd/provgen: specs, policies,
-	// executions keys present.
+func TestSaveManifestIsLogFormat(t *testing.T) {
+	// The committed manifest carries the log-engine format marker and a
+	// generation-numbered checkpoint pointer per shard.
 	dir := t.TempDir()
 	r := seededRepo(t)
 	if err := r.Save(dir); err != nil {
@@ -110,9 +101,26 @@ func TestSaveIsLoadableByProvgenFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{`"specs"`, `"policies"`, `"executions"`, `"users"`} {
-		if !strings.Contains(string(data), key) {
-			t.Fatalf("manifest missing %s:\n%s", key, data)
+	var man struct {
+		Format     string `json:"format"`
+		Generation uint64 `json:"generation"`
+		Shards     map[string]struct {
+			Checkpoint uint64 `json:"checkpoint"`
+			Records    uint64 `json:"records"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Format == "" || man.Generation == 0 || len(man.Shards) == 0 {
+		t.Fatalf("manifest not in log format:\n%s", data)
+	}
+	for sid, info := range man.Shards {
+		if info.Checkpoint == 0 || info.Records == 0 {
+			t.Fatalf("shard %s has no checkpoint pointer:\n%s", sid, data)
 		}
+	}
+	if !strings.Contains(string(data), `"users"`) {
+		t.Fatalf("manifest missing users:\n%s", data)
 	}
 }

@@ -247,13 +247,12 @@ type Repository struct {
 	taintRewritten atomic.Int64
 	taintRedacted  atomic.Int64
 
-	// saveMu guards the incremental-save bookkeeping: the directory of
-	// the previous Save and the per-shard mutation seq it captured.
+	// saveMu guards bound, the repository's attachment to a storage
+	// backend with its incremental-save bookkeeping (see persist.go).
 	// mutSeq issues globally unique shard seq values.
-	saveMu      sync.Mutex
-	lastSaveDir string
-	savedSeqs   map[string]uint64
-	mutSeq      atomic.Uint64
+	saveMu sync.Mutex
+	bound  *boundStore
+	mutSeq atomic.Uint64
 
 	// polMu serializes the policy-sensitive mutators (AddSpec,
 	// RemoveSpec, UpdatePolicy, EnableMaterialization) against each

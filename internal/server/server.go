@@ -72,6 +72,7 @@ import (
 	"provpriv/internal/privacy"
 	"provpriv/internal/query"
 	"provpriv/internal/repo"
+	"provpriv/internal/storage"
 	"provpriv/internal/workflow"
 )
 
@@ -110,6 +111,11 @@ type Server struct {
 	// configuration, never caller input — a wire-supplied path would be
 	// an arbitrary-file-write primitive.
 	SaveDir string
+	// Store, when non-nil, is the measured storage backend the repository
+	// persists through; its counters are exported via /stats and /metrics
+	// so operators can watch append/replay/compaction traffic and storage
+	// errors per process.
+	Store *storage.Measure
 
 	// mutations counts successful mutation-endpoint requests;
 	// authFailures counts rejected authentications and authorization
@@ -763,6 +769,10 @@ type statsBody struct {
 	Mutations    int64            `json:"mutations_total"`
 	AuthFailures int64            `json:"auth_failures_total"`
 	Tokens       []auth.TokenStat `json:"tokens,omitempty"`
+
+	// Storage reports the measured backend's operation counters (only
+	// when the server was started with a bound storage backend).
+	Storage *storage.MeasureStats `json:"storage,omitempty"`
 }
 
 func toStatsBody(st repo.Stats) statsBody {
@@ -801,6 +811,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, user string
 	body.AuthFailures = s.authFailures.Load()
 	if s.Auth != nil {
 		body.Tokens = s.Auth.Stats()
+	}
+	if s.Store != nil {
+		st := s.Store.Stats()
+		body.Storage = &st
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }
@@ -843,6 +857,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("masked_exec_cache_misses_total", "Per-shard masked-execution snapshot cache misses.", st.MaskedCacheMisses)
 	metric("mutations_total", "Successful mutation-endpoint requests.", s.mutations.Load())
 	metric("auth_failures_total", "Rejected authentications and authorization denials.", s.authFailures.Load())
+	if s.Store != nil {
+		ss := s.Store.Stats()
+		metric("storage_appends_total", "Log append batches written to the storage backend.", int64(ss.Appends))
+		metric("storage_append_records_total", "Records appended to shard logs.", int64(ss.AppendRecords))
+		metric("storage_append_nanos_total", "Nanoseconds spent in log appends.", int64(ss.AppendNanos))
+		metric("storage_replays_total", "Shard log replays.", int64(ss.Replays))
+		metric("storage_replay_records_total", "Records replayed from shard logs.", int64(ss.ReplayRecords))
+		metric("storage_replay_nanos_total", "Nanoseconds spent replaying shard logs.", int64(ss.ReplayNanos))
+		metric("storage_checkpoints_total", "Shard checkpoints written (full rewrites and compaction folds).", int64(ss.Checkpoints))
+		metric("storage_checkpoint_records_total", "Records written into shard checkpoints.", int64(ss.CheckpointRecords))
+		metric("storage_checkpoint_nanos_total", "Nanoseconds spent writing checkpoints.", int64(ss.CheckpointNanos))
+		metric("storage_checkpoint_reads_total", "Shard checkpoint reads.", int64(ss.CheckpointReads))
+		metric("storage_commits_total", "Manifest commits (snapshot publication points).", int64(ss.Commits))
+		metric("storage_commit_nanos_total", "Nanoseconds spent committing manifests.", int64(ss.CommitNanos))
+		metric("storage_shard_drops_total", "Shards dropped from the backend.", int64(ss.Drops))
+		metric("storage_errors_total", "Storage backend operations that returned an error.", int64(ss.Errors))
+	}
 	if s.Auth != nil {
 		// Per-token use counters, as one labeled series (the label value
 		// is the token's public name — never secret material).

@@ -13,6 +13,7 @@ import (
 	"provpriv/internal/exec"
 	"provpriv/internal/privacy"
 	"provpriv/internal/repo"
+	"provpriv/internal/storage"
 	"provpriv/internal/workflow"
 	"provpriv/internal/workload"
 )
@@ -666,5 +667,81 @@ func TestTaintMetricsMonotone(t *testing.T) {
 	msh, ok := st.MaskedCache["disease-susceptibility"]
 	if !ok || msh.Hits+msh.Misses == 0 {
 		t.Fatalf("per-shard masked cache stats missing: %+v", st.MaskedCache)
+	}
+}
+
+// TestStorageMetricsExported: a server started with a measured storage
+// backend surfaces backend counters in /metrics and /stats, and a
+// wire-triggered save moves them.
+func TestStorageMetricsExported(t *testing.T) {
+	dir := t.TempDir()
+	r := repo.New()
+	s := workflow.DiseaseSusceptibility()
+	if err := r.AddSpec(s, nil); err != nil {
+		t.Fatalf("AddSpec: %v", err)
+	}
+	r.AddUser(privacy.User{Name: "alice", Level: privacy.Owner, Group: "owners"})
+	b, err := storage.OpenFlat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := storage.NewMeasure(b)
+	if err := r.BindStorage(m, dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(r)
+	srv.Store = m
+	srv.SaveDir = dir
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { r.CloseStorage() })
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/save", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Prov-User", "alice")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("save: %d", resp.StatusCode)
+	}
+
+	if v := scrapeMetric(t, ts, "provpriv_storage_commits_total"); v < 1 {
+		t.Fatalf("storage_commits_total = %d after save", v)
+	}
+	if v := scrapeMetric(t, ts, "provpriv_storage_checkpoints_total"); v < 1 {
+		t.Fatalf("storage_checkpoints_total = %d after save", v)
+	}
+	var st struct {
+		Storage *storage.MeasureStats `json:"storage"`
+	}
+	if code := get(t, ts, "alice", "/api/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Storage == nil || st.Storage.Commits < 1 || st.Storage.CheckpointRecords < 1 {
+		t.Fatalf("stats storage block: %+v", st.Storage)
+	}
+
+	// A server with no bound backend omits the block and the metrics.
+	ts2, _, _ := newTestServer(t)
+	resp2, err := ts2.Client().Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if strings.Contains(string(body), "provpriv_storage_") {
+		t.Fatal("storage metrics exported without a bound backend")
+	}
+	var st2 map[string]json.RawMessage
+	if code := get(t, ts2, "alice", "/api/v1/stats", &st2); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if _, ok := st2["storage"]; ok {
+		t.Fatal("stats storage block present without a bound backend")
 	}
 }

@@ -1,0 +1,157 @@
+package storage_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"provpriv/internal/storage"
+)
+
+func benchOpen(b testing.TB, backend, dir string) storage.Backend {
+	b.Helper()
+	var (
+		bk  storage.Backend
+		err error
+	)
+	switch backend {
+	case "flat":
+		bk, err = storage.OpenFlat(dir)
+	case "kv":
+		bk, err = storage.OpenKV(dir)
+	default:
+		b.Fatalf("unknown backend %q", backend)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bk
+}
+
+func benchRecords(n, payload int) []storage.Record {
+	recs := make([]storage.Record, n)
+	data := make([]byte, payload)
+	for i := range data {
+		data[i] = byte('a' + i%26)
+	}
+	for i := range recs {
+		recs[i] = storage.Record{Type: storage.RecExec, Key: fmt.Sprintf("exec-%06d", i), Data: data}
+	}
+	return recs
+}
+
+// seedLog writes and commits count log records, returning the extent.
+func seedLog(tb testing.TB, bk storage.Backend, count int) uint64 {
+	tb.Helper()
+	if err := bk.WriteCheckpoint("bench", 1, nil); err != nil {
+		tb.Fatal(err)
+	}
+	ln, err := bk.Append("bench", 1, 0, benchRecords(count, 256))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := bk.Commit(storage.Meta{Generation: 1, Shards: map[string]storage.ShardInfo{
+		"bench": {Checkpoint: 1, LogLen: ln},
+	}}); err != nil {
+		tb.Fatal(err)
+	}
+	return ln
+}
+
+func benchmarkAppend(b *testing.B, backend string) {
+	bk := benchOpen(b, backend, b.TempDir())
+	defer bk.Close()
+	if err := bk.WriteCheckpoint("bench", 1, nil); err != nil {
+		b.Fatal(err)
+	}
+	recs := benchRecords(16, 256)
+	var at uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		at, err = bk.Append("bench", 1, at, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkReplay(b *testing.B, backend string) {
+	bk := benchOpen(b, backend, b.TempDir())
+	defer bk.Close()
+	ln := seedLog(b, bk, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		if err := bk.ReplayLog("bench", 1, ln, func(storage.Record) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 2000 {
+			b.Fatalf("replayed %d records", n)
+		}
+	}
+}
+
+func benchmarkCompact(b *testing.B, backend string) {
+	// Compaction at the engine level = folding a log into a fresh
+	// checkpoint at the next generation and committing it.
+	bk := benchOpen(b, backend, b.TempDir())
+	defer bk.Close()
+	seedLog(b, bk, 2000)
+	recs := benchRecords(2000, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := uint64(i + 2)
+		if err := bk.WriteCheckpoint("bench", gen, recs); err != nil {
+			b.Fatal(err)
+		}
+		if err := bk.Commit(storage.Meta{Generation: gen, Shards: map[string]storage.ShardInfo{
+			"bench": {Checkpoint: gen, Records: 2000},
+		}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlatAppend(b *testing.B)  { benchmarkAppend(b, "flat") }
+func BenchmarkKVAppend(b *testing.B)    { benchmarkAppend(b, "kv") }
+func BenchmarkFlatReplay(b *testing.B)  { benchmarkReplay(b, "flat") }
+func BenchmarkKVReplay(b *testing.B)    { benchmarkReplay(b, "kv") }
+func BenchmarkFlatCompact(b *testing.B) { benchmarkCompact(b, "flat") }
+func BenchmarkKVCompact(b *testing.B)   { benchmarkCompact(b, "kv") }
+
+// TestBenchStorageJSON renders the storage benchmarks as a
+// machine-readable JSON file for CI's perf trajectory. Gated on the
+// BENCH_JSON env var naming the output path; a no-op otherwise.
+func TestBenchStorageJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("BENCH_JSON not set")
+	}
+	type entry struct {
+		AppendRecsPerSec float64 `json:"append_records_per_sec"`
+		ReplayMillis     float64 `json:"replay_2000_ms"`
+		CompactMillis    float64 `json:"compact_2000_ms"`
+	}
+	report := make(map[string]entry)
+	for _, backend := range []string{"flat", "kv"} {
+		ap := testing.Benchmark(func(b *testing.B) { benchmarkAppend(b, backend) })
+		rp := testing.Benchmark(func(b *testing.B) { benchmarkReplay(b, backend) })
+		cp := testing.Benchmark(func(b *testing.B) { benchmarkCompact(b, backend) })
+		report[backend] = entry{
+			// benchmarkAppend writes 16 records per iteration.
+			AppendRecsPerSec: 16 * float64(ap.N) / ap.T.Seconds(),
+			ReplayMillis:     float64(rp.NsPerOp()) / 1e6,
+			CompactMillis:    float64(cp.NsPerOp()) / 1e6,
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", out, data)
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Fault wraps a Backend for crash testing: it counts calls per
+// operation and, at a configured kill point, returns ErrKilled either
+// before the operation runs (the write never happened) or after it
+// completed (the write landed but the caller thinks it failed — the
+// harder crash to survive). Once killed, the backend stays dead: every
+// further mutating call fails, modeling a process that never got to
+// run its cleanup.
+type Fault struct {
+	b Backend
+
+	mu     sync.Mutex
+	calls  map[string]int
+	before map[string]int
+	after  map[string]int
+	dead   bool
+}
+
+// ErrKilled is returned at and after a Fault kill point.
+var ErrKilled = errors.New("storage: killed by fault injection")
+
+// Operation names for kill points and call counting.
+const (
+	OpMeta            = "meta"
+	OpWriteCheckpoint = "write_checkpoint"
+	OpReadCheckpoint  = "read_checkpoint"
+	OpAppend          = "append"
+	OpReplay          = "replay"
+	OpCommit          = "commit"
+	OpDrop            = "drop"
+)
+
+// NewFault wraps b with no kill points armed.
+func NewFault(b Backend) *Fault {
+	return &Fault{
+		b:      b,
+		calls:  make(map[string]int),
+		before: make(map[string]int),
+		after:  make(map[string]int),
+	}
+}
+
+// Unwrap returns the wrapped backend (kill points do not apply to
+// calls made on it directly — tests use it to inspect state post-kill).
+func (f *Fault) Unwrap() Backend { return f.b }
+
+// KillBefore arms a kill immediately before the n-th (1-based) call to
+// op: the operation does not run.
+func (f *Fault) KillBefore(op string, n int) {
+	f.mu.Lock()
+	f.before[op] = n
+	f.mu.Unlock()
+}
+
+// KillAfter arms a kill immediately after the n-th (1-based) call to
+// op completes: its effect persists but the error reaches the caller.
+func (f *Fault) KillAfter(op string, n int) {
+	f.mu.Lock()
+	f.after[op] = n
+	f.mu.Unlock()
+}
+
+// Calls reports how many times op has been invoked.
+func (f *Fault) Calls(op string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// Dead reports whether a kill point has fired.
+func (f *Fault) Dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+// enter counts the call and decides the kill: (skip=true) means the
+// operation must not run.
+func (f *Fault) enter(op string) (skip bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return true, fmt.Errorf("%w (%s after death)", ErrKilled, op)
+	}
+	f.calls[op]++
+	if n, ok := f.before[op]; ok && f.calls[op] == n {
+		f.dead = true
+		return true, fmt.Errorf("%w (before %s #%d)", ErrKilled, op, n)
+	}
+	return false, nil
+}
+
+// exit applies an after-kill once the operation completed.
+func (f *Fault) exit(op string, opErr error) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n, ok := f.after[op]; ok && f.calls[op] == n && !f.dead {
+		f.dead = true
+		if opErr == nil {
+			return fmt.Errorf("%w (after %s #%d)", ErrKilled, op, n)
+		}
+	}
+	return opErr
+}
+
+// Meta implements Backend.
+func (f *Fault) Meta() (Meta, error) {
+	if skip, err := f.enter(OpMeta); skip {
+		return Meta{}, err
+	}
+	m, err := f.b.Meta()
+	return m, f.exit(OpMeta, err)
+}
+
+// WriteCheckpoint implements Backend.
+func (f *Fault) WriteCheckpoint(shard string, gen uint64, recs []Record) error {
+	if skip, err := f.enter(OpWriteCheckpoint); skip {
+		return err
+	}
+	return f.exit(OpWriteCheckpoint, f.b.WriteCheckpoint(shard, gen, recs))
+}
+
+// ReadCheckpoint implements Backend.
+func (f *Fault) ReadCheckpoint(shard string, gen uint64, want uint64, fn func(Record) error) error {
+	if skip, err := f.enter(OpReadCheckpoint); skip {
+		return err
+	}
+	return f.exit(OpReadCheckpoint, f.b.ReadCheckpoint(shard, gen, want, fn))
+}
+
+// Append implements Backend.
+func (f *Fault) Append(shard string, gen, at uint64, recs []Record) (uint64, error) {
+	if skip, err := f.enter(OpAppend); skip {
+		return 0, err
+	}
+	n, err := f.b.Append(shard, gen, at, recs)
+	return n, f.exit(OpAppend, err)
+}
+
+// ReplayLog implements Backend.
+func (f *Fault) ReplayLog(shard string, gen, upTo uint64, fn func(Record) error) error {
+	if skip, err := f.enter(OpReplay); skip {
+		return err
+	}
+	return f.exit(OpReplay, f.b.ReplayLog(shard, gen, upTo, fn))
+}
+
+// Commit implements Backend.
+func (f *Fault) Commit(meta Meta) error {
+	if skip, err := f.enter(OpCommit); skip {
+		return err
+	}
+	return f.exit(OpCommit, f.b.Commit(meta))
+}
+
+// DropShard implements Backend.
+func (f *Fault) DropShard(shard string) error {
+	if skip, err := f.enter(OpDrop); skip {
+		return err
+	}
+	return f.exit(OpDrop, f.b.DropShard(shard))
+}
+
+// Close implements Backend (never killed — even a dying process's fds
+// get closed).
+func (f *Fault) Close() error { return f.b.Close() }

@@ -1,0 +1,310 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KV is a minimal embedded key-value store in the bitcask style: one
+// append-only data file, an in-memory key directory pointing at value
+// locations, CRC-framed entries, torn-tail exclusion on open, and
+// stop-the-world compaction that rewrites live entries into a fresh
+// file swapped in by atomic rename. It exists so the repository can
+// offer a second, structurally different storage backend without any
+// external dependency; it is deliberately small, not a general store.
+//
+// Entry frame: | u32 len | u32 CRC32(rest) | u8 op | u32 key len | key
+// | value |. op 0 is a put, op 1 a delete tombstone. The last write
+// for a key wins; Apply batches land in one write call followed by one
+// fsync, so a batch is durable as a unit (a torn batch is ignored past
+// the clean frame prefix on the next open — individual entries are
+// atomic, batches are not, which the Backend layer's committed-extent
+// manifest makes safe).
+type KV struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	idx  map[string]kvLoc
+	size int64 // file extent (end of the clean frame region)
+	dead int64 // bytes held by superseded or deleted frames
+}
+
+// kvLoc locates one live value inside the data file.
+type kvLoc struct {
+	off  int64 // offset of the value bytes
+	size uint32
+}
+
+const (
+	kvOpPut = 0
+	kvOpDel = 1
+	// kvCompactMinSize / kvCompactRatio gate automatic compaction: once
+	// dead bytes exceed half the file (and the file is non-trivial),
+	// Apply folds the store.
+	kvCompactMinSize = 64 << 10
+)
+
+// KVOp is one batched mutation.
+type KVOp struct {
+	Del bool
+	Key string
+	Val []byte
+}
+
+// OpenKVFile opens (creating if missing) a KV data file, replaying it
+// to rebuild the key directory; any torn tail is left on disk but
+// excluded from the extent.
+func OpenKVFile(path string) (*KV, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open kv %s: %w", path, err)
+	}
+	kv := &KV{path: path, f: f, idx: make(map[string]kvLoc)}
+	if err := kv.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return kv, nil
+}
+
+// replay scans the data file, building the index from its longest
+// clean frame prefix. A torn tail (crashed write) is not truncated —
+// opening must be read-only safe, because Load may open a store a live
+// writer still appends to — it is simply excluded from the extent, so
+// the next Apply overwrites it in place.
+func (kv *KV) replay() error {
+	data, err := os.ReadFile(kv.path)
+	if err != nil {
+		return fmt.Errorf("storage: replay kv: %w", err)
+	}
+	off := 0
+	for {
+		payload, next, ok := frameAt(data, off)
+		if !ok {
+			break
+		}
+		if err := kv.index(payload, int64(off)); err != nil {
+			return err
+		}
+		off = next
+	}
+	kv.size = int64(off)
+	return nil
+}
+
+// index applies one replayed entry frame to the key directory.
+func (kv *KV) index(payload []byte, frameOff int64) error {
+	if len(payload) < 5 {
+		return fmt.Errorf("%w: kv entry of %d bytes", ErrCorrupt, len(payload))
+	}
+	op := payload[0]
+	klen := binary.BigEndian.Uint32(payload[1:5])
+	if uint64(klen) > uint64(len(payload)-5) {
+		return fmt.Errorf("%w: kv key length %d exceeds entry", ErrCorrupt, klen)
+	}
+	key := string(payload[5 : 5+klen])
+	frameSize := int64(frameHeader + len(payload))
+	if old, ok := kv.idx[key]; ok {
+		kv.dead += int64(frameHeader+5) + int64(len(key)) + int64(old.size)
+	}
+	switch op {
+	case kvOpPut:
+		kv.idx[key] = kvLoc{
+			off:  frameOff + frameHeader + 5 + int64(klen),
+			size: uint32(len(payload) - 5 - int(klen)),
+		}
+	case kvOpDel:
+		delete(kv.idx, key)
+		kv.dead += frameSize // the tombstone itself is garbage too
+	default:
+		return fmt.Errorf("%w: kv op %d", ErrCorrupt, op)
+	}
+	return nil
+}
+
+// encodeKVEntry frames one op.
+func encodeKVEntry(dst []byte, op KVOp) []byte {
+	p := make([]byte, 0, 5+len(op.Key)+len(op.Val))
+	code := byte(kvOpPut)
+	if op.Del {
+		code = kvOpDel
+	}
+	p = append(p, code)
+	p = binary.BigEndian.AppendUint32(p, uint32(len(op.Key)))
+	p = append(p, op.Key...)
+	if !op.Del {
+		p = append(p, op.Val...)
+	}
+	return appendFrame(dst, p)
+}
+
+// Apply durably applies a batch: one contiguous write, one fsync. The
+// index is updated only after the fsync succeeds.
+func (kv *KV) Apply(ops []KVOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	var buf []byte
+	for _, op := range ops {
+		buf = encodeKVEntry(buf, op)
+	}
+	if _, err := kv.f.WriteAt(buf, kv.size); err != nil {
+		return fmt.Errorf("storage: kv write: %w", err)
+	}
+	if err := kv.f.Sync(); err != nil {
+		return fmt.Errorf("storage: kv sync: %w", err)
+	}
+	// Re-index the batch from its serialized form so offsets are exact.
+	off := kv.size
+	data := buf
+	pos := 0
+	for {
+		payload, next, ok := frameAt(data, pos)
+		if !ok {
+			break
+		}
+		if err := kv.index(payload, off+int64(pos)); err != nil {
+			return err
+		}
+		pos = next
+	}
+	kv.size += int64(len(buf))
+	if kv.size > kvCompactMinSize && kv.dead*2 > kv.size {
+		return kv.compactLocked()
+	}
+	return nil
+}
+
+// Get reads one value. The read happens under the lock so a concurrent
+// compaction cannot swap the data file out from under it.
+func (kv *KV) Get(key string) ([]byte, bool, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	loc, ok := kv.idx[key]
+	if !ok {
+		return nil, false, nil
+	}
+	buf := make([]byte, loc.size)
+	if _, err := kv.f.ReadAt(buf, loc.off); err != nil {
+		return nil, false, fmt.Errorf("storage: kv read %q: %w", key, err)
+	}
+	return buf, true, nil
+}
+
+// Keys returns the live keys with the given prefix, sorted.
+func (kv *KV) Keys(prefix string) []string {
+	kv.mu.Lock()
+	keys := make([]string, 0, 16)
+	for k := range kv.idx {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	kv.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Iter streams live (key, value) pairs under prefix in sorted key
+// order. Values read under the lock, so Iter observes one atomic state;
+// fn must not call back into the KV.
+func (kv *KV) Iter(prefix string, fn func(key string, val []byte) error) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	keys := make([]string, 0, 16)
+	for k := range kv.idx {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		loc := kv.idx[k]
+		buf := make([]byte, loc.size)
+		if _, err := kv.f.ReadAt(buf, loc.off); err != nil {
+			return fmt.Errorf("storage: kv read %q: %w", k, err)
+		}
+		if err := fn(k, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact folds the store: live entries are rewritten into a fresh
+// file, fsynced, and renamed over the data file.
+func (kv *KV) Compact() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.compactLocked()
+}
+
+func (kv *KV) compactLocked() error {
+	dir, base := filepath.Split(kv.path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: kv compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	keys := make([]string, 0, len(kv.idx))
+	for k := range kv.idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	newIdx := make(map[string]kvLoc, len(keys))
+	for _, k := range keys {
+		loc := kv.idx[k]
+		val := make([]byte, loc.size)
+		if _, err := kv.f.ReadAt(val, loc.off); err != nil {
+			tmp.Close()
+			return fmt.Errorf("storage: kv compact read %q: %w", k, err)
+		}
+		newIdx[k] = kvLoc{off: int64(len(out)) + frameHeader + 5 + int64(len(k)), size: loc.size}
+		out = encodeKVEntry(out, KVOp{Key: k, Val: val})
+	}
+	_, werr := tmp.Write(out)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), kv.path)
+	}
+	if werr != nil {
+		return fmt.Errorf("storage: kv compact: %w", werr)
+	}
+	f, err := os.OpenFile(kv.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: kv reopen after compact: %w", err)
+	}
+	kv.f.Close()
+	kv.f = f
+	kv.idx = newIdx
+	kv.size = int64(len(out))
+	kv.dead = 0
+	return nil
+}
+
+// Sizes reports the data-file extent and its dead (garbage) bytes.
+func (kv *KV) Sizes() (size, dead int64) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.size, kv.dead
+}
+
+// Close releases the data file.
+func (kv *KV) Close() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.f.Close()
+}

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKVRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.kv")
+	kv, err := OpenKVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Apply([]KVOp{
+		{Key: "a", Val: []byte("1")},
+		{Key: "b", Val: []byte("2")},
+		{Key: "a", Val: []byte("3")}, // last write wins, even within a batch
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := kv.Get("a")
+	if err != nil || !ok || string(got) != "3" {
+		t.Fatalf("Get(a) = %q, %v, %v; want 3", got, ok, err)
+	}
+	if err := kv.Apply([]KVOp{{Del: true, Key: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := kv.Get("b"); ok {
+		t.Fatal("deleted key still present")
+	}
+	kv.Close()
+
+	// Reopen: state rebuilt from the log.
+	kv2, err := OpenKVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	got, ok, err = kv2.Get("a")
+	if err != nil || !ok || string(got) != "3" {
+		t.Fatalf("after reopen Get(a) = %q, %v, %v; want 3", got, ok, err)
+	}
+	if _, ok, _ := kv2.Get("b"); ok {
+		t.Fatal("tombstone lost on reopen")
+	}
+	if keys := kv2.Keys(""); len(keys) != 1 || keys[0] != "a" {
+		t.Fatalf("Keys = %v, want [a]", keys)
+	}
+}
+
+func TestKVTornTailExcluded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.kv")
+	kv, err := OpenKVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Apply([]KVOp{{Key: "a", Val: []byte("durable")}}); err != nil {
+		t.Fatal(err)
+	}
+	cleanSize, _ := kv.Sizes()
+	kv.Close()
+	// Crash mid-write: half a frame at the tail.
+	fd, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd.Write([]byte{0, 0, 0, 99, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	fd.Close()
+
+	// Opening must not mutate the file: a Load may open a store that a
+	// live writer is still appending to, so recovery only excludes the
+	// torn tail from the extent.
+	st, _ := os.Stat(path)
+	tornSize := st.Size()
+	kv2, err := OpenKVFile(path)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer kv2.Close()
+	if st, err = os.Stat(path); err != nil || st.Size() != tornSize {
+		t.Fatalf("open mutated the file: size %d, want %d (err=%v)", st.Size(), tornSize, err)
+	}
+	got, ok, err := kv2.Get("a")
+	if err != nil || !ok || string(got) != "durable" {
+		t.Fatalf("Get(a) = %q, %v, %v", got, ok, err)
+	}
+	if size, _ := kv2.Sizes(); size != cleanSize {
+		t.Fatalf("extent after reopen = %d, want clean prefix %d", size, cleanSize)
+	}
+	// The store is writable again: the next batch overwrites the torn
+	// tail in place and replays cleanly.
+	if err := kv2.Apply([]KVOp{{Key: "b", Val: []byte("new")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := kv2.Get("b"); !ok || string(got) != "new" {
+		t.Fatalf("Get(b) after recovery = %q, %v", got, ok)
+	}
+	kv2.Close()
+	kv3, err := OpenKVFile(path)
+	if err != nil {
+		t.Fatalf("reopen after recovery write: %v", err)
+	}
+	defer kv3.Close()
+	if got, ok, _ := kv3.Get("b"); !ok || string(got) != "new" {
+		t.Fatalf("Get(b) after second reopen = %q, %v", got, ok)
+	}
+}
+
+func TestKVCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.kv")
+	kv, err := OpenKVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	// Overwrite one key many times: most of the file becomes garbage.
+	val := bytes.Repeat([]byte("x"), 512)
+	for i := 0; i < 100; i++ {
+		if err := kv.Apply([]KVOp{{Key: "hot", Val: val}, {Key: fmt.Sprintf("cold%02d", i), Val: []byte("v")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := kv.Sizes()
+	if err := kv.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, dead := kv.Sizes()
+	if after >= before {
+		t.Fatalf("compaction did not shrink the file: %d -> %d", before, after)
+	}
+	if dead != 0 {
+		t.Fatalf("dead bytes after compaction = %d, want 0", dead)
+	}
+	// All live data survived.
+	if got, ok, _ := kv.Get("hot"); !ok || !bytes.Equal(got, val) {
+		t.Fatal("hot key lost in compaction")
+	}
+	if keys := kv.Keys("cold"); len(keys) != 100 {
+		t.Fatalf("cold keys after compaction = %d, want 100", len(keys))
+	}
+	// Compacted file replays correctly.
+	kv.Close()
+	kv2, err := OpenKVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	if got, ok, _ := kv2.Get("hot"); !ok || !bytes.Equal(got, val) {
+		t.Fatal("hot key lost after compaction + reopen")
+	}
+}
+
+func TestKVAutoCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.kv")
+	kv, err := OpenKVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	// Churn one key with a large value until the file passes the
+	// auto-compaction gate (size > 64KB, dead > half).
+	val := bytes.Repeat([]byte("y"), 8<<10)
+	for i := 0; i < 40; i++ {
+		if err := kv.Apply([]KVOp{{Key: "churn", Val: val}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, dead := kv.Sizes()
+	if size > kvCompactMinSize && dead*2 > size {
+		t.Fatalf("auto-compaction never fired: size=%d dead=%d", size, dead)
+	}
+	if got, ok, _ := kv.Get("churn"); !ok || !bytes.Equal(got, val) {
+		t.Fatal("churned key lost")
+	}
+}
+
+func TestKVIterSorted(t *testing.T) {
+	kv, err := OpenKVFile(filepath.Join(t.TempDir(), "store.kv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Apply([]KVOp{
+		{Key: "p/2", Val: []byte("b")},
+		{Key: "p/1", Val: []byte("a")},
+		{Key: "q/1", Val: []byte("z")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := kv.Iter("p/", func(k string, v []byte) error {
+		got = append(got, k+"="+string(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "p/1=a" || got[1] != "p/2=b" {
+		t.Fatalf("Iter = %v", got)
+	}
+}
