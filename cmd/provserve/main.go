@@ -53,6 +53,7 @@ import (
 	"provpriv/internal/repo"
 	"provpriv/internal/server"
 	"provpriv/internal/storage"
+	"provpriv/internal/tasks"
 	"provpriv/internal/workflow"
 )
 
@@ -83,6 +84,12 @@ func main() {
 		"storage backend for a new -data directory: flat (per-shard log files) or kv (embedded key-value store); existing directories keep the backend they were written with")
 	example := flag.Bool("example", false, "serve the built-in paper example instead of -data")
 	workers := flag.Int("workers", 0, "fan-out pool size (0 = GOMAXPROCS)")
+	taskWorkers := flag.Int("task-workers", 2, "background task workers (bulk ingest, compaction, prewarming; 0 disables the async surface)")
+	taskQueue := flag.Int("task-queue", 64, "background task queue capacity (full queue = 429 on async endpoints)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"shutdown budget for draining in-flight requests and background tasks before stragglers are canceled")
+	compactInterval := flag.Duration("compact-interval", 0,
+		"periodically fold oversized shard logs in the background (0 disables; compaction also runs after each save)")
 	allowTaintOff := flag.Bool("allow-taint-off", false,
 		"honor the provenance taint=off debug parameter (reopens the embedded-trace-value leak; never enable on a shared deployment)")
 	tokenFile := flag.String("token-file", "",
@@ -186,6 +193,14 @@ func main() {
 	case *data != "":
 		srv.SaveDir = *data
 	}
+	var rt *tasks.Runtime
+	if *taskWorkers > 0 {
+		rt = tasks.New(*taskWorkers, *taskQueue)
+		srv.Tasks = rt
+		log.Printf("task runtime: %d workers, queue %d", *taskWorkers, *taskQueue)
+	} else {
+		log.Print("task runtime disabled (-task-workers 0): async endpoints serve 503")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -197,16 +212,59 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Optional off-path compaction ticker: fold oversized shard logs even
+	// when nobody calls POST /api/v1/save or /api/v1/compact.
+	if *compactInterval > 0 && rt != nil {
+		ticker := time.NewTicker(*compactInterval)
+		defer ticker.Stop()
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if len(r.NeedsCompaction()) == 0 {
+						continue
+					}
+					if id := srv.EnqueueCompaction(); id != "" {
+						log.Printf("compaction pass %s enqueued", id)
+					}
+				}
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain, one deadline for the whole sequence: stop
+		// accepting requests and finish in-flight ones, let background
+		// tasks run down (stragglers are canceled at the deadline), then
+		// take a final snapshot so nothing accepted before the signal is
+		// lost, and release the storage backend.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			log.Printf("shutdown: http: %v", err)
+		}
+		if rt != nil {
+			if err := rt.Drain(shutdownCtx); err != nil {
+				log.Printf("shutdown: task drain: %v", err)
+			}
+		}
+		if srv.SaveDir != "" {
+			if err := r.Save(srv.SaveDir); err != nil {
+				log.Printf("shutdown: final save: %v", err)
+			} else {
+				log.Printf("shutdown: saved to %s", srv.SaveDir)
+			}
+		}
+		if err := r.CloseStorage(); err != nil {
+			log.Printf("shutdown: close storage: %v", err)
 		}
 		log.Print("bye")
 	}

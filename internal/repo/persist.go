@@ -28,15 +28,18 @@ import (
 // Incrementality: shards carry a mutation sequence number; saving twice
 // through the same bound store skips clean shards entirely and appends
 // only the delta (new executions, replaced policy/ladders) for dirty
-// ones. Once a shard's log outgrows compactThreshold records, the save
-// folds it into a fresh checkpoint at the new generation instead.
+// ones. Save never folds a log into a fresh checkpoint inline — saves
+// stay O(delta) no matter how long a log grows. Folding is the job of
+// CompactShard (compact.go), run off-path by the async task runtime;
+// NeedsCompaction reports the shards whose logs have outgrown
+// compactThreshold.
 //
 // Directories written by the pre-log Save (or cmd/provgen's legacy
 // layout) still Load; the first Save migrates them to the log engine.
 
-// compactThreshold is the log length (in records) past which a save
-// folds a shard's log into a fresh checkpoint. Package variable so
-// tests can force compaction cheaply.
+// compactThreshold is the log length (in records) past which
+// NeedsCompaction nominates a shard for a background fold. Package
+// variable so tests can force compaction cheaply.
 var compactThreshold uint64 = 256
 
 // boundStore is the repository's attachment to one storage backend:
@@ -231,31 +234,29 @@ func (ss *shardSaved) info() storage.ShardInfo {
 }
 
 // writeShard persists one dirty shard: an append of the delta records
-// to its existing log when cheap, or a fold into a fresh checkpoint at
-// this save's generation when the shard is new or its log has outgrown
-// compactThreshold.
+// to its existing log for a known shard, a full checkpoint only when
+// the shard is new (or replaced under the same id). It never folds a
+// long log — that is CompactShard's job, off the save path — so a save
+// is always O(changed data).
 func (bs *boundStore) writeShard(sid string, gen uint64, snap shardSnap, prev *shardSaved) (*shardSaved, error) {
 	if prev != nil && prev.spec == snap.spec {
 		recs, err := deltaRecords(sid, snap, prev)
 		if err != nil {
 			return nil, err
 		}
-		if prev.logRecs+uint64(len(recs)) <= compactThreshold {
-			logLen := prev.logLen
-			if len(recs) > 0 {
-				logLen, err = bs.b.Append(sid, prev.ckptGen, prev.logLen, recs)
-				if err != nil {
-					return nil, err
-				}
+		logLen := prev.logLen
+		if len(recs) > 0 {
+			logLen, err = bs.b.Append(sid, prev.ckptGen, prev.logLen, recs)
+			if err != nil {
+				return nil, err
 			}
-			return &shardSaved{
-				seq: snap.seq, polGen: snap.polGen, spec: snap.spec,
-				ckptGen: prev.ckptGen, ckptRecords: prev.ckptRecords,
-				logLen: logLen, logRecs: prev.logRecs + uint64(len(recs)),
-				execs: execSet(snap.execs),
-			}, nil
 		}
-		// Log outgrown: fall through to compaction.
+		return &shardSaved{
+			seq: snap.seq, polGen: snap.polGen, spec: snap.spec,
+			ckptGen: prev.ckptGen, ckptRecords: prev.ckptRecords,
+			logLen: logLen, logRecs: prev.logRecs + uint64(len(recs)),
+			execs: execSet(snap.execs),
+		}, nil
 	}
 	recs, err := checkpointRecords(sid, snap)
 	if err != nil {

@@ -2,6 +2,7 @@ package repo
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -99,105 +100,190 @@ func snapshotVersion(t *testing.T, r *Repository) int {
 // the manifest commit — and after every injected crash the directory
 // must load as a single consistent generation: complete v1 until the
 // commit lands, complete v2 once it has. A recovery save must then
-// bring the directory fully to v2.
+// bring the directory fully to v2. (Save only ever appends deltas now;
+// the checkpoint-write crash points live in the background-fold matrix
+// below.)
 func TestTornSnapshotKillMatrix(t *testing.T) {
 	type kp struct {
 		op    string
 		n     int
 		after bool
 	}
-	points := func(op string, calls int) []kp {
-		var ps []kp
-		for n := 1; n <= calls; n++ {
-			ps = append(ps, kp{op, n, false}, kp{op, n, true})
-		}
-		ps = append(ps, kp{storage.OpCommit, 1, false}, kp{storage.OpCommit, 1, true})
-		return ps
+	var points []kp
+	for n := 1; n <= 3; n++ {
+		points = append(points, kp{storage.OpAppend, n, false}, kp{storage.OpAppend, n, true})
 	}
-	variants := []struct {
-		name      string
-		threshold uint64 // compactThreshold during the v2 save
-		points    []kp
-	}{
-		// Small logs: the v2 save appends each shard's delta.
-		{"delta-appends", 256, points(storage.OpAppend, 3)},
-		// Threshold zero: the v2 save folds every shard into a fresh
-		// generation-2 checkpoint.
-		{"checkpoint-folds", 0, points(storage.OpWriteCheckpoint, 3)},
+	points = append(points, kp{storage.OpCommit, 1, false}, kp{storage.OpCommit, 1, true})
+	backends := map[string]func(dir string) (storage.Backend, error){
+		"flat": func(dir string) (storage.Backend, error) { return storage.OpenFlat(dir) },
+		"kv":   func(dir string) (storage.Backend, error) { return storage.OpenKV(dir) },
+	}
+	for bname, open := range backends {
+		t.Run(bname, func(t *testing.T) {
+			for _, p := range points {
+				mode := "before"
+				if p.after {
+					mode = "after"
+				}
+				t.Run(fmt.Sprintf("%s-%s-%d", mode, p.op, p.n), func(t *testing.T) {
+					dir := t.TempDir()
+					r := crashFixture(t)
+					base, err := open(dir)
+					if err != nil {
+						t.Fatalf("open backend: %v", err)
+					}
+					f := storage.NewFault(base)
+					if err := r.BindStorage(f, dir); err != nil {
+						t.Fatalf("BindStorage: %v", err)
+					}
+					if err := r.Save(dir); err != nil {
+						t.Fatalf("v1 save: %v", err)
+					}
+					mutateToV2(t, r)
+					// Kill points are relative to the v2 save: offset by the
+					// calls the v1 save already made.
+					n := f.Calls(p.op) + p.n
+					if p.after {
+						f.KillAfter(p.op, n)
+					} else {
+						f.KillBefore(p.op, n)
+					}
+					if err := r.Save(dir); err == nil {
+						t.Fatalf("kill point %s %s #%d never fired", mode, p.op, p.n)
+					}
+					r2, err := Load(dir)
+					if err != nil {
+						t.Fatalf("Load after injected crash: %v", err)
+					}
+					got := snapshotVersion(t, r2)
+					r2.CloseStorage()
+					want := 1
+					if p.op == storage.OpCommit && p.after {
+						// The manifest landed before the crash: v2 is committed.
+						want = 2
+					}
+					if got != want {
+						t.Fatalf("loaded v%d after crash %s %s #%d, want v%d", got, mode, p.op, p.n, want)
+					}
+					// The failed save dropped the binding; a fresh save must
+					// recover the directory to complete v2.
+					if err := r.Save(dir); err != nil {
+						t.Fatalf("recovery save: %v", err)
+					}
+					r3, err := Load(dir)
+					if err != nil {
+						t.Fatalf("Load after recovery: %v", err)
+					}
+					if got := snapshotVersion(t, r3); got != 2 {
+						t.Fatalf("recovery save left v%d, want v2", got)
+					}
+					r3.CloseStorage()
+					r.CloseStorage()
+				})
+			}
+		})
+	}
+}
+
+// TestBackgroundFoldKillMatrix extends the kill matrix to crashes
+// landing inside a background compaction fold: after a committed v2
+// save, CompactShard runs over every shard with a kill injected at each
+// checkpoint-write and manifest-commit boundary. A fold only rewrites
+// committed data, so whatever the crash point, a reload must always be
+// complete v2 — compaction can never lose or tear a snapshot — and a
+// recovery save through a fresh binding must succeed, after which
+// compaction completes cleanly.
+func TestBackgroundFoldKillMatrix(t *testing.T) {
+	type kp struct {
+		op    string
+		n     int // nth fold op during the compaction pass (1-based)
+		after bool
+	}
+	var points []kp
+	for n := 1; n <= 3; n++ {
+		points = append(points,
+			kp{storage.OpWriteCheckpoint, n, false}, kp{storage.OpWriteCheckpoint, n, true},
+			kp{storage.OpCommit, n, false}, kp{storage.OpCommit, n, true})
 	}
 	backends := map[string]func(dir string) (storage.Backend, error){
 		"flat": func(dir string) (storage.Backend, error) { return storage.OpenFlat(dir) },
 		"kv":   func(dir string) (storage.Backend, error) { return storage.OpenKV(dir) },
 	}
 	for bname, open := range backends {
-		for _, v := range variants {
-			t.Run(bname+"/"+v.name, func(t *testing.T) {
-				oldThreshold := compactThreshold
-				compactThreshold = v.threshold
-				defer func() { compactThreshold = oldThreshold }()
-				for _, p := range v.points {
-					mode := "before"
-					if p.after {
-						mode = "after"
-					}
-					t.Run(fmt.Sprintf("%s-%s-%d", mode, p.op, p.n), func(t *testing.T) {
-						dir := t.TempDir()
-						r := crashFixture(t)
-						base, err := open(dir)
-						if err != nil {
-							t.Fatalf("open backend: %v", err)
-						}
-						f := storage.NewFault(base)
-						if err := r.BindStorage(f, dir); err != nil {
-							t.Fatalf("BindStorage: %v", err)
-						}
-						if err := r.Save(dir); err != nil {
-							t.Fatalf("v1 save: %v", err)
-						}
-						mutateToV2(t, r)
-						// Kill points are relative to the v2 save: offset by the
-						// calls the v1 save already made.
-						n := f.Calls(p.op) + p.n
-						if p.after {
-							f.KillAfter(p.op, n)
-						} else {
-							f.KillBefore(p.op, n)
-						}
-						if err := r.Save(dir); err == nil {
-							t.Fatalf("kill point %s %s #%d never fired", mode, p.op, p.n)
-						}
-						r2, err := Load(dir)
-						if err != nil {
-							t.Fatalf("Load after injected crash: %v", err)
-						}
-						got := snapshotVersion(t, r2)
-						r2.CloseStorage()
-						want := 1
-						if p.op == storage.OpCommit && p.after {
-							// The manifest landed before the crash: v2 is committed.
-							want = 2
-						}
-						if got != want {
-							t.Fatalf("loaded v%d after crash %s %s #%d, want v%d", got, mode, p.op, p.n, want)
-						}
-						// The failed save dropped the binding; a fresh save must
-						// recover the directory to complete v2.
-						if err := r.Save(dir); err != nil {
-							t.Fatalf("recovery save: %v", err)
-						}
-						r3, err := Load(dir)
-						if err != nil {
-							t.Fatalf("Load after recovery: %v", err)
-						}
-						if got := snapshotVersion(t, r3); got != 2 {
-							t.Fatalf("recovery save left v%d, want v2", got)
-						}
-						r3.CloseStorage()
-						r.CloseStorage()
-					})
+		t.Run(bname, func(t *testing.T) {
+			for _, p := range points {
+				mode := "before"
+				if p.after {
+					mode = "after"
 				}
-			})
-		}
+				t.Run(fmt.Sprintf("%s-%s-%d", mode, p.op, p.n), func(t *testing.T) {
+					dir := t.TempDir()
+					r := crashFixture(t)
+					base, err := open(dir)
+					if err != nil {
+						t.Fatalf("open backend: %v", err)
+					}
+					f := storage.NewFault(base)
+					if err := r.BindStorage(f, dir); err != nil {
+						t.Fatalf("BindStorage: %v", err)
+					}
+					if err := r.Save(dir); err != nil {
+						t.Fatalf("v1 save: %v", err)
+					}
+					mutateToV2(t, r)
+					if err := r.Save(dir); err != nil {
+						t.Fatalf("v2 save: %v", err)
+					}
+					// Kill points are relative to the compaction pass: offset
+					// by the calls the two saves already made.
+					n := f.Calls(p.op) + p.n
+					if p.after {
+						f.KillAfter(p.op, n)
+					} else {
+						f.KillBefore(p.op, n)
+					}
+					var foldErr error
+					for i := 0; i < 3; i++ {
+						if err := r.CompactShard(fmt.Sprintf("s%d", i)); err != nil {
+							foldErr = err
+							break
+						}
+					}
+					if foldErr == nil {
+						t.Fatalf("kill point %s %s #%d never fired", mode, p.op, p.n)
+					}
+					// A fold crash can never cost data: reload is complete v2
+					// no matter where the kill landed.
+					r2, err := Load(dir)
+					if err != nil {
+						t.Fatalf("Load after injected fold crash: %v", err)
+					}
+					if got := snapshotVersion(t, r2); got != 2 {
+						t.Fatalf("loaded v%d after fold crash %s %s #%d, want v2", got, mode, p.op, p.n)
+					}
+					r2.CloseStorage()
+					// The failed fold dropped the binding; the next save rebinds
+					// and rewrites, and compaction then completes cleanly.
+					if err := r.Save(dir); err != nil {
+						t.Fatalf("recovery save: %v", err)
+					}
+					for i := 0; i < 3; i++ {
+						if err := r.CompactShard(fmt.Sprintf("s%d", i)); err != nil {
+							t.Fatalf("compaction after recovery: %v", err)
+						}
+					}
+					r3, err := Load(dir)
+					if err != nil {
+						t.Fatalf("Load after recovery: %v", err)
+					}
+					if got := snapshotVersion(t, r3); got != 2 {
+						t.Fatalf("recovery left v%d, want v2", got)
+					}
+					r3.CloseStorage()
+					r.CloseStorage()
+				})
+			}
+		})
 	}
 }
 
@@ -440,10 +526,13 @@ func TestLegacyManifestPolicySpecMismatch(t *testing.T) {
 	}
 }
 
-// TestSaveCompactionFoldsLog: once a shard's log outgrows the
-// threshold, the next save folds checkpoint + log into a fresh
-// checkpoint at the new generation with an empty log.
-func TestSaveCompactionFoldsLog(t *testing.T) {
+// TestSaveNeverFoldsInline is the op-counter proof that compaction left
+// the save path: repeated saves past the threshold only ever append —
+// the measured backend's checkpoint counter stays at the initial shard
+// write — while NeedsCompaction nominates the outgrown shard for the
+// background fold, and CompactShard then folds it into a fresh
+// checkpoint with an empty log, preserving every execution.
+func TestSaveNeverFoldsInline(t *testing.T) {
 	oldThreshold := compactThreshold
 	compactThreshold = 2
 	defer func() { compactThreshold = oldThreshold }()
@@ -452,7 +541,16 @@ func TestSaveCompactionFoldsLog(t *testing.T) {
 	_, add := makeSynthSpec(t, 1, "s")
 	add(r)
 	s := r.Spec("s")
-	for i := 0; i < 4; i++ {
+	b, err := storage.OpenFlat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := storage.NewMeasure(b)
+	if err := r.BindStorage(m, dir); err != nil {
+		t.Fatalf("BindStorage: %v", err)
+	}
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
 		e, err := exec.NewRunner(s, nil).Run(fmt.Sprintf("s-E%d", i), workload.RandomInputs(s, int64(i)))
 		if err != nil {
 			t.Fatalf("Run: %v", err)
@@ -464,25 +562,39 @@ func TestSaveCompactionFoldsLog(t *testing.T) {
 			t.Fatalf("save %d: %v", i, err)
 		}
 	}
-	r.CloseStorage()
-	// Saves 1-3: checkpoint at gen 1, then two appends (log at 2
-	// records). Save 4 would push the log to 3 > threshold: it must fold
-	// into a gen-4 checkpoint with an empty log.
-	b, err := storage.OpenFlat(dir)
+	defer r.CloseStorage()
+	// Save 1 wrote the shard's initial checkpoint; every later save must
+	// append its delta no matter how far the log outgrows the threshold.
+	st := m.Stats()
+	if st.Checkpoints != 1 {
+		t.Fatalf("saves performed %d checkpoint writes, want 1 (inline folding is gone)", st.Checkpoints)
+	}
+	if st.Appends != rounds-1 {
+		t.Errorf("saves performed %d appends, want %d", st.Appends, rounds-1)
+	}
+	if got := r.NeedsCompaction(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("NeedsCompaction = %v, want [s]", got)
+	}
+	if err := r.CompactShard("s"); err != nil {
+		t.Fatalf("CompactShard: %v", err)
+	}
+	if st := m.Stats(); st.Checkpoints != 2 {
+		t.Fatalf("fold wrote %d checkpoints total, want 2", st.Checkpoints)
+	}
+	if got := r.NeedsCompaction(); len(got) != 0 {
+		t.Fatalf("NeedsCompaction after fold = %v, want empty", got)
+	}
+	// The committed manifest points at the folded checkpoint, empty log.
+	meta, err := m.Meta()
 	if err != nil {
 		t.Fatal(err)
 	}
-	meta, err := b.Meta()
-	if err != nil {
-		t.Fatal(err)
-	}
-	b.Close()
 	info, ok := meta.Shards["s"]
 	if !ok {
 		t.Fatalf("no shard in manifest: %+v", meta)
 	}
-	if info.Checkpoint != 4 || info.LogLen != 0 {
-		t.Fatalf("log not folded: checkpoint gen %d, log len %d", info.Checkpoint, info.LogLen)
+	if info.LogLen != 0 || info.Checkpoint != meta.Generation {
+		t.Fatalf("log not folded: checkpoint gen %d/%d, log len %d", info.Checkpoint, meta.Generation, info.LogLen)
 	}
 	r2, err := Load(dir)
 	if err != nil {
@@ -493,8 +605,97 @@ func TestSaveCompactionFoldsLog(t *testing.T) {
 	sh.mu.RLock()
 	n := len(sh.execs)
 	sh.mu.RUnlock()
+	if n != rounds {
+		t.Fatalf("fold lost executions: %d, want %d", n, rounds)
+	}
+	// Folding is idempotent and cheap to re-check: a second CompactShard
+	// is a no-op.
+	if err := r.CompactShard("s"); err != nil {
+		t.Fatalf("re-compact: %v", err)
+	}
+	if st := m.Stats(); st.Checkpoints != 2 {
+		t.Fatalf("re-compact wrote a checkpoint: %d total", st.Checkpoints)
+	}
+}
+
+// TestCompactShardConflictAndRetry pins the fold's optimistic race
+// check: a mutation wedged between the snapshot and the commit makes
+// the fold lose with ErrCompactConflict (the retryable outcome the task
+// runtime backs off on), unsaved mutations also conflict, and after the
+// next save the retried fold wins.
+func TestCompactShardConflictAndRetry(t *testing.T) {
+	oldThreshold := compactThreshold
+	compactThreshold = 0
+	defer func() { compactThreshold = oldThreshold }()
+	dir := t.TempDir()
+	r := New()
+	_, add := makeSynthSpec(t, 1, "s")
+	add(r)
+	s := r.Spec("s")
+	addExec := func(i int) {
+		t.Helper()
+		e, err := exec.NewRunner(s, nil).Run(fmt.Sprintf("s-E%d", i), workload.RandomInputs(s, int64(i)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			t.Fatalf("AddExecution: %v", err)
+		}
+	}
+	addExec(0)
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	defer r.CloseStorage()
+	addExec(1)
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// Snapshot, then let a newer save land before the commit: the fold's
+	// records no longer match the committed extent — it must lose, or the
+	// commit would point the manifest at a checkpoint missing E2.
+	snap := snapshotShardState(r.shard("s"))
+	addExec(2)
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := r.compactFrom("s", snap); !errors.Is(err, ErrCompactConflict) {
+		t.Fatalf("fold racing a newer save = %v, want ErrCompactConflict", err)
+	}
+	// A fold over unsaved mutations also conflicts: the snapshot holds
+	// state the store has never committed.
+	addExec(3)
+	if err := r.CompactShard("s"); !errors.Is(err, ErrCompactConflict) {
+		t.Fatalf("fold over unsaved mutations = %v, want ErrCompactConflict", err)
+	}
+	// The retry after the next save wins.
+	if err := r.Save(dir); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := r.CompactShard("s"); err != nil {
+		t.Fatalf("retried fold: %v", err)
+	}
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer r2.CloseStorage()
+	sh := r2.shard("s")
+	sh.mu.RLock()
+	n := len(sh.execs)
+	sh.mu.RUnlock()
 	if n != 4 {
 		t.Fatalf("fold lost executions: %d, want 4", n)
+	}
+	// Unbound repository: compaction has nothing to write to.
+	if err := New().CompactShard("s"); err != nil {
+		t.Fatalf("CompactShard on empty repo = %v, want nil (no shard)", err)
+	}
+	r3 := New()
+	_, add3 := makeSynthSpec(t, 2, "s")
+	add3(r3)
+	if err := r3.CompactShard("s"); !errors.Is(err, ErrNoStorage) {
+		t.Fatalf("CompactShard without storage = %v, want ErrNoStorage", err)
 	}
 }
 

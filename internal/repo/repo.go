@@ -39,6 +39,7 @@
 package repo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -1048,6 +1049,15 @@ type pagedHits struct {
 // (TestMatchesAgreesWithSearch pins predicate/search equivalence, and
 // TestSearchPageTilesFullSearch pins the tiling end-to-end).
 func (r *Repository) SearchPage(userName, queryText string, opts SearchOptions) ([]SearchHit, int, error) {
+	return r.SearchPageCtx(context.Background(), userName, queryText, opts)
+}
+
+// SearchPageCtx is SearchPage threaded with a context: the fan-out
+// phases check ctx between shards and abandon the search early when the
+// caller is gone (a disconnected HTTP client), instead of burning the
+// worker pool on a result nobody reads. A canceled search returns ctx's
+// error and caches nothing.
+func (r *Repository) SearchPageCtx(ctx context.Context, userName, queryText string, opts SearchOptions) ([]SearchHit, int, error) {
 	u, err := r.User(userName)
 	if err != nil {
 		return nil, 0, err
@@ -1115,6 +1125,9 @@ func (r *Repository) SearchPage(userName, queryText string, opts SearchOptions) 
 	// same transient the full path already tolerates.
 	matched := make([]bool, len(candidates))
 	r.fanOut(len(candidates), func(i int) {
+		if ctx.Err() != nil {
+			return // caller gone: stop scanning, the ctx check below reports
+		}
 		sh := r.shard(candidates[i])
 		if sh == nil {
 			return
@@ -1124,6 +1137,9 @@ func (r *Repository) SearchPage(userName, queryText string, opts SearchOptions) 
 		sh.mu.RUnlock()
 		matched[i] = search.Matches(s, phrases, pol, u.Level)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	window := make([]string, 0, len(candidates))
 	total := 0
 	for i, sid := range candidates {
@@ -1144,6 +1160,9 @@ func (r *Repository) SearchPage(userName, queryText string, opts SearchOptions) 
 	// pool; slot i belongs to window[i], so order survives the merge.
 	slots := make([]*SearchHit, len(window))
 	r.fanOut(len(window), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		sid := window[i]
 		sh := r.shard(sid)
 		if sh == nil {
@@ -1159,6 +1178,9 @@ func (r *Repository) SearchPage(userName, queryText string, opts SearchOptions) 
 		}
 		slots[i] = &SearchHit{SpecID: sid, Score: scoreOf[sid], Result: res}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	hits := make([]SearchHit, 0, len(window))
 	for _, h := range slots {
 		if h != nil {
@@ -1428,6 +1450,14 @@ func (r *Repository) QueryAll(userName, specID, queryText string) ([]*query.Answ
 // [offset, offset+limit). limit 0 materializes everything. The returned
 // total is the pre-pagination count of non-empty answers.
 func (r *Repository) QueryAllPage(userName, specID, queryText string, limit, offset int) ([]*query.Answer, int, error) {
+	return r.QueryAllPageCtx(context.Background(), userName, specID, queryText, limit, offset)
+}
+
+// QueryAllPageCtx is QueryAllPage threaded with a context, checked
+// between executions in both fan-out phases: a disconnected client
+// stops the evaluation instead of holding the pool through the
+// remaining executions.
+func (r *Repository) QueryAllPageCtx(ctx context.Context, userName, specID, queryText string, limit, offset int) ([]*query.Answer, int, error) {
 	q, err := query.Parse(queryText)
 	if err != nil {
 		return nil, 0, err
@@ -1464,6 +1494,10 @@ func (r *Repository) QueryAllPage(userName, specID, queryText string, limit, off
 	snaps := make([]maskedSnapshot, len(execs))
 	errs := make([]error, len(execs))
 	r.fanOut(len(execs), func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		snap, err := r.maskedExecFor(sh, execs[i], u.Level)
 		if err != nil {
 			errs[i] = err
@@ -1498,6 +1532,10 @@ func (r *Repository) QueryAllPage(userName, specID, queryText string, limit, off
 	merrs := make([]error, len(out))
 	ev := query.NewEvaluator(sh.spec)
 	r.fanOut(len(out), func(i int) {
+		if err := ctx.Err(); err != nil {
+			merrs[i] = err
+			return
+		}
 		merrs[i] = ev.MaterializeReturn(q, out[i], prep[i])
 	})
 	if err := errors.Join(merrs...); err != nil {
@@ -1586,6 +1624,16 @@ func (r *Repository) Provenance(userName, specID, execID, itemID string) (*exec.
 
 // ProvenanceWith is Provenance with options.
 func (r *Repository) ProvenanceWith(userName, specID, execID, itemID string, opts ProvenanceOptions) (*exec.Execution, error) {
+	return r.ProvenanceWithCtx(context.Background(), userName, specID, execID, itemID, opts)
+}
+
+// ProvenanceWithCtx is ProvenanceWith threaded with a context, checked
+// before the expensive enforcement work (cold masked-snapshot builds):
+// a disconnected client stops the rendering early.
+func (r *Repository) ProvenanceWithCtx(ctx context.Context, userName, specID, execID, itemID string, opts ProvenanceOptions) (*exec.Execution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	u, sh, e, err := r.queryContext(userName, specID, execID)
 	if err != nil {
 		return nil, err
@@ -1632,6 +1680,9 @@ func (r *Repository) ProvenanceWith(userName, specID, execID, itemID string, opt
 	// preserves the item set of the collapsed view, so visibility is
 	// checked on the snapshot itself; exec.Provenance only reads the
 	// snapshot and returns a fresh induced sub-execution.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	snap, err := r.maskedExecFor(sh, e, u.Level)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"provpriv/internal/exec"
+	"provpriv/internal/repo"
+	"provpriv/internal/tasks"
+)
+
+// benchBatch pre-runs and marshals n fresh zebrafish executions with a
+// distinct id prefix.
+func benchBatch(b *testing.B, r *repo.Repository, prefix string, n int) []json.RawMessage {
+	b.Helper()
+	spec := r.Spec("zfish")
+	items := make([]json.RawMessage, n)
+	for j := range items {
+		e, err := exec.NewRunner(spec, nil).Run(fmt.Sprintf("%s-%d", prefix, j), map[string]exec.Value{
+			"x": exec.Value(fmt.Sprintf("tank-%s-%d", prefix, j)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := json.Marshal(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[j] = raw
+	}
+	return items
+}
+
+// bulkIngestBatchSize is the batch one BenchmarkBulkIngest iteration
+// pushes through the task runtime.
+const bulkIngestBatchSize = 64
+
+// BenchmarkBulkIngest measures the bulk path end to end minus HTTP:
+// one iteration submits a pre-marshaled 64-item batch to the task
+// runtime and waits for the worker to strict-decode, validate, and
+// ingest every item.
+func BenchmarkBulkIngest(b *testing.B) {
+	r := repo.New()
+	if err := r.AddSpec(zebrafishSpec(b, "zfish"), nil); err != nil {
+		b.Fatal(err)
+	}
+	s := New(r)
+	rt := tasks.New(2, 8)
+	s.Tasks = rt
+	defer rt.Drain(context.Background())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		items := benchBatch(b, r, fmt.Sprintf("B%d", i), bulkIngestBatchSize)
+		done := make(chan error, 1)
+		b.StartTimer()
+		_, err := rt.Submit(bulkIngestClass, func(ctx context.Context, p *tasks.Progress) (any, error) {
+			res := &bulkResult{}
+			p.Set(0, int64(len(items)))
+			for k, raw := range items {
+				if err := s.bulkItem(raw, res, k); err != nil {
+					done <- err
+					return nil, err
+				}
+				p.Add(1)
+			}
+			done <- nil
+			return res, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(bulkIngestBatchSize*b.N)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// BenchmarkSaveNoInlineCompact measures the incremental save with
+// compaction moved off-path: each iteration adds one execution and
+// saves, and the cost must stay O(delta) — one appended record — no
+// matter how long the unfolded shard log has grown.
+func BenchmarkSaveNoInlineCompact(b *testing.B) {
+	dir := b.TempDir()
+	r := repo.New()
+	if err := r.AddSpec(zebrafishSpec(b, "zfish"), nil); err != nil {
+		b.Fatal(err)
+	}
+	spec := r.Spec("zfish")
+	if err := r.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	defer r.CloseStorage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := exec.NewRunner(spec, nil).Run(fmt.Sprintf("S%d", i), map[string]exec.Value{
+			"x": exec.Value(fmt.Sprintf("tank-%d", i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.AddExecution(e); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := r.Save(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchTasksJSON renders the async-runtime benchmarks as a
+// machine-readable JSON file for CI's perf trajectory, mirroring
+// TestBenchStorageJSON. Gated on the BENCH_JSON env var naming the
+// output path; a no-op otherwise.
+func TestBenchTasksJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("BENCH_JSON not set")
+	}
+	bi := testing.Benchmark(BenchmarkBulkIngest)
+	sv := testing.Benchmark(BenchmarkSaveNoInlineCompact)
+	report := map[string]float64{
+		"bulk_ingest_execs_per_sec": bulkIngestBatchSize * float64(bi.N) / bi.T.Seconds(),
+		"save_delta_ms":             float64(sv.NsPerOp()) / 1e6,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", out, data)
+}

@@ -80,7 +80,7 @@ func do(t *testing.T, ts *httptest.Server, method, path, secret string, body []b
 
 // zebrafishSpec builds a small spec with a vocabulary no fixture spec
 // shares, so index-freshness assertions are unambiguous.
-func zebrafishSpec(t *testing.T, id string) *workflow.Spec {
+func zebrafishSpec(t testing.TB, id string) *workflow.Spec {
 	t.Helper()
 	s, err := workflow.NewBuilder(id, "Zebrafish Pipeline", "R").
 		Workflow("R", "Root").

@@ -45,7 +45,21 @@
 //	PUT    /api/v1/policy                           replace a spec's privacy policy [writer]
 //	PUT    /api/v1/generalization                   install generalization ladders [writer]
 //	POST   /api/v1/save                             persist the repository to the save dir [admin]
+//	POST   /api/v1/executions:bulk                  async bulk ingest → 202 + task id [writer]
+//	GET    /api/v1/tasks[?limit=L&offset=O]         list background tasks, newest first [writer]
+//	GET    /api/v1/tasks/{id}                       one task's state/progress/result [writer]
+//	DELETE /api/v1/tasks/{id}                       cancel a pending or running task [writer]
+//	POST   /api/v1/compact                          async compaction pass over oversized shards [admin]
 //	GET    /metrics                                 Prometheus-style counters (no auth)
+//
+// The task endpoints serve 503 unless the operator configured a task
+// runtime (Server.Tasks; provserve always does). Heavy work — bulk
+// ingest, compaction folds, cache prewarming after a policy change —
+// runs on that pool and returns 202 Accepted plus a task id; callers
+// poll GET /api/v1/tasks/{id} (the Location header points there) and
+// may DELETE to cancel. Long synchronous reads (search, query,
+// provenance) honor request-context cancellation: a caller that hangs
+// up stops paying for fan-out it will never read.
 //
 // Search and query responses are paginated with limit/offset (limit 0 =
 // unlimited); the pre-pagination result count is returned as "total" so
@@ -73,6 +87,7 @@ import (
 	"provpriv/internal/query"
 	"provpriv/internal/repo"
 	"provpriv/internal/storage"
+	"provpriv/internal/tasks"
 	"provpriv/internal/workflow"
 )
 
@@ -116,12 +131,22 @@ type Server struct {
 	// so operators can watch append/replay/compaction traffic and storage
 	// errors per process.
 	Store *storage.Measure
+	// Tasks, when non-nil, is the background task runtime behind the
+	// async surface (bulk ingest, compaction, cache prewarming, the
+	// /api/v1/tasks endpoints). The operator owns its lifecycle: size
+	// the pool, set it here before serving, drain it on shutdown. Nil
+	// leaves the async endpoints serving 503 and policy changes warming
+	// caches lazily — the pre-task behavior.
+	Tasks *tasks.Runtime
 
 	// mutations counts successful mutation-endpoint requests;
 	// authFailures counts rejected authentications and authorization
 	// denials (both exported via /metrics and /stats).
 	mutations    atomic.Int64
 	authFailures atomic.Int64
+	// compactTask remembers the last submitted compaction task id so a
+	// save burst enqueues one pass, not one per save.
+	compactTask atomic.Value
 }
 
 // New wraps a repository in an HTTP API.
@@ -141,6 +166,14 @@ func New(r *repo.Repository) *Server {
 	s.mux.HandleFunc("PUT /api/v1/policy", s.withRole(auth.RoleWriter, s.handleUpdatePolicy))
 	s.mux.HandleFunc("PUT /api/v1/generalization", s.withRole(auth.RoleWriter, s.handleSetGeneralization))
 	s.mux.HandleFunc("POST /api/v1/save", s.withRole(auth.RoleAdmin, s.handleSave))
+	// The async surface: bulk ingest and task introspection need writer
+	// (tasks expose mutation progress and accept cancellation),
+	// compaction is an operator action.
+	s.mux.HandleFunc("POST /api/v1/executions:bulk", s.withRole(auth.RoleWriter, s.handleBulkExecutions))
+	s.mux.HandleFunc("GET /api/v1/tasks", s.withRole(auth.RoleWriter, s.handleListTasks))
+	s.mux.HandleFunc("GET /api/v1/tasks/{id}", s.withRole(auth.RoleWriter, s.handleGetTask))
+	s.mux.HandleFunc("DELETE /api/v1/tasks/{id}", s.withRole(auth.RoleWriter, s.handleCancelTask))
+	s.mux.HandleFunc("POST /api/v1/compact", s.withRole(auth.RoleAdmin, s.handleCompact))
 	// Metrics are operational, not user data: no principal required, so
 	// scrapers don't need a repository account.
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -363,8 +396,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, user strin
 	}
 	// Pagination is pushed into the engine: SearchPage counts the full
 	// result set with a cheap match predicate and materializes minimal
-	// views only for this window.
-	hits, total, err := s.repo.SearchPage(user, q, repo.SearchOptions{
+	// views only for this window. The request context rides along so a
+	// hung-up client stops the shard fan-out.
+	hits, total, err := s.repo.SearchPageCtx(r.Context(), user, q, repo.SearchOptions{
 		Buckets: buckets, Limit: limit, Offset: offset,
 	})
 	if err != nil {
@@ -440,7 +474,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, user string
 		// All executions of the spec (non-empty answers only), with the
 		// window pushed into the engine: out-of-window answers are
 		// match-counted but their return clauses never materialize.
-		answers, total, err := s.repo.QueryAllPage(user, specID, q, limit, offset)
+		answers, total, err := s.repo.QueryAllPageCtx(r.Context(), user, specID, q, limit, offset)
 		if err != nil {
 			s.fail(w, r, err)
 			return
@@ -512,7 +546,7 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request, user s
 		s.fail(w, r, fmt.Errorf("server: bad taint %q (want on or off)", t))
 		return
 	}
-	prov, err := s.repo.ProvenanceWith(user, specID, execID, item, opts)
+	prov, err := s.repo.ProvenanceWithCtx(r.Context(), user, specID, execID, item, opts)
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -680,7 +714,14 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request, user
 		s.fail(w, r, err)
 		return
 	}
-	s.mutated(w, http.StatusOK, map[string]any{"spec": req.Spec})
+	// The policy change just purged the spec's masked-snapshot caches;
+	// rebuild them off-path so the first reader per level pays a warm
+	// hit. Best-effort — with no runtime the caches warm lazily.
+	body := map[string]any{"spec": req.Spec}
+	if id := s.enqueuePrewarm(req.Spec); id != "" {
+		body["task"] = id
+	}
+	s.mutated(w, http.StatusOK, body)
 }
 
 // generalizationRequest is the PUT /api/v1/generalization body: per-
@@ -718,7 +759,11 @@ func (s *Server) handleSetGeneralization(w http.ResponseWriter, r *http.Request,
 		s.fail(w, r, err)
 		return
 	}
-	s.mutated(w, http.StatusOK, map[string]any{"spec": req.Spec})
+	body := map[string]any{"spec": req.Spec}
+	if id := s.enqueuePrewarm(req.Spec); id != "" {
+		body["task"] = id
+	}
+	s.mutated(w, http.StatusOK, body)
 }
 
 // handleSave persists the repository to the operator-configured save
@@ -733,7 +778,13 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, user string)
 		s.fail(w, r, err)
 		return
 	}
-	s.mutated(w, http.StatusOK, map[string]any{"dir": s.SaveDir})
+	// Save is O(delta) now — it only appends. Shards whose logs have
+	// outgrown the threshold get folded by a background pass.
+	body := map[string]any{"dir": s.SaveDir}
+	if id := s.maybeEnqueueCompaction(); id != "" {
+		body["compaction_task"] = id
+	}
+	s.mutated(w, http.StatusOK, body)
 }
 
 // statsBody is the /stats response.
@@ -773,6 +824,10 @@ type statsBody struct {
 	// Storage reports the measured backend's operation counters (only
 	// when the server was started with a bound storage backend).
 	Storage *storage.MeasureStats `json:"storage,omitempty"`
+
+	// Tasks reports the background runtime's counters (only when a task
+	// runtime is configured).
+	Tasks *tasks.Stats `json:"tasks,omitempty"`
 }
 
 func toStatsBody(st repo.Stats) statsBody {
@@ -815,6 +870,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, user string
 	if s.Store != nil {
 		st := s.Store.Stats()
 		body.Storage = &st
+	}
+	if s.Tasks != nil {
+		ts := s.Tasks.Stats()
+		body.Tasks = &ts
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }
@@ -873,6 +932,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metric("storage_commit_nanos_total", "Nanoseconds spent committing manifests.", int64(ss.CommitNanos))
 		metric("storage_shard_drops_total", "Shards dropped from the backend.", int64(ss.Drops))
 		metric("storage_errors_total", "Storage backend operations that returned an error.", int64(ss.Errors))
+	}
+	if s.Tasks != nil {
+		ts := s.Tasks.Stats()
+		metric("tasks_submitted_total", "Background tasks accepted by the runtime.", ts.Submitted)
+		metric("tasks_started_total", "Background task attempts started.", ts.Started)
+		metric("tasks_retries_total", "Background task attempts retried after a failure.", ts.Retries)
+		metric("tasks_succeeded_total", "Background tasks that reached the succeeded state.", ts.Succeeded)
+		metric("tasks_failed_total", "Background tasks that exhausted their retry budget.", ts.Failed)
+		metric("tasks_canceled_total", "Background tasks canceled before completion.", ts.Canceled)
+		metric("tasks_running", "Background tasks currently executing.", ts.Running)
+		metric("tasks_queued", "Background tasks waiting for a worker.", ts.Queued)
 	}
 	if s.Auth != nil {
 		// Per-token use counters, as one labeled series (the label value

@@ -1,0 +1,215 @@
+package tasks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when Sleep is called, recording every
+// requested backoff duration — the deterministic harness for the
+// schedule tests.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return ctx.Err()
+}
+
+func (c *fakeClock) recorded() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.sleeps))
+	copy(out, c.sleeps)
+	return out
+}
+
+// TestBackoffScheduleNoJitter pins the exact geometric schedule:
+// base·multiplier^(attempt−1), hard-capped at MaxDelay.
+func TestBackoffScheduleNoJitter(t *testing.T) {
+	c := Class{
+		Kind:        "sched",
+		MaxAttempts: 6,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  2,
+		MaxDelay:    time.Second,
+	}.normalize()
+	want := []time.Duration{
+		100 * time.Millisecond, // after attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // 1600ms capped
+	}
+	for i, w := range want {
+		if got := c.backoff(i+1, 0.5); got != w {
+			t.Errorf("backoff(attempt=%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffJitterBounds: with jitter J, every delay must land in
+// [d·(1−J), d·(1+J)] and never exceed the cap, across the whole rnd
+// range.
+func TestBackoffJitterBounds(t *testing.T) {
+	c := Class{
+		Kind:        "jit",
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  3,
+		MaxDelay:    2 * time.Second,
+		Jitter:      0.25,
+	}.normalize()
+	for attempt := 1; attempt <= 4; attempt++ {
+		raw := float64(c.BaseDelay) * math.Pow(c.Multiplier, float64(attempt-1))
+		if raw > float64(c.MaxDelay) {
+			raw = float64(c.MaxDelay)
+		}
+		lo := time.Duration(raw * (1 - c.Jitter))
+		hi := time.Duration(raw * (1 + c.Jitter))
+		if hi > c.MaxDelay {
+			hi = c.MaxDelay
+		}
+		for _, rnd := range []float64{0, 0.25, 0.5, 0.75, 0.999999} {
+			got := c.backoff(attempt, rnd)
+			if got < lo || got > hi {
+				t.Errorf("backoff(attempt=%d, rnd=%v) = %v, outside [%v, %v]", attempt, rnd, got, lo, hi)
+			}
+		}
+		// The extremes of rnd map to the extremes of the band.
+		if got := c.backoff(attempt, 0); got != lo {
+			t.Errorf("backoff(attempt=%d, rnd=0) = %v, want lower bound %v", attempt, got, lo)
+		}
+	}
+}
+
+// TestRetryBudgetExhaustsDeterministic drives a runtime on the fake
+// clock: an always-failing handler must sleep the exact geometric
+// schedule between attempts and land in terminal failed with the final
+// attempt's error preserved — without any real time passing.
+func TestRetryBudgetExhaustsDeterministic(t *testing.T) {
+	fc := newFakeClock()
+	rt := NewWithClock(1, 4, fc, 1)
+	defer rt.Drain(context.Background())
+	const budget = 4
+	id, err := rt.Submit(Class{
+		Kind:        "doomed",
+		MaxAttempts: budget,
+		BaseDelay:   50 * time.Millisecond,
+		Multiplier:  2,
+		MaxDelay:    150 * time.Millisecond,
+		// Jitter 0: the schedule must be exact.
+	}, func(ctx context.Context, p *Progress) (any, error) {
+		return nil, fmt.Errorf("attempt failed")
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	s := waitTerminal(t, rt, id)
+	if s.State != "failed" {
+		t.Fatalf("state = %s, want failed", s.State)
+	}
+	if s.Attempts != budget {
+		t.Errorf("attempts = %d, want full budget %d", s.Attempts, budget)
+	}
+	if s.LastError != "attempt failed" {
+		t.Errorf("last error = %q, want %q", s.LastError, "attempt failed")
+	}
+	// budget attempts → budget−1 backoff sleeps, geometric then capped.
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		150 * time.Millisecond, // 200ms capped at 150ms
+	}
+	got := fc.recorded()
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d sleeps %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sleep[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if st := rt.Stats(); st.Failed != 1 || st.Retries != budget-1 {
+		t.Errorf("stats = %+v, want failed=1 retries=%d", st, budget-1)
+	}
+}
+
+// TestJitteredSleepsStayInBounds runs the same doomed task with jitter
+// on a seeded runtime and checks every recorded sleep lands inside the
+// jitter band of its scheduled delay.
+func TestJitteredSleepsStayInBounds(t *testing.T) {
+	fc := newFakeClock()
+	rt := NewWithClock(1, 4, fc, 42)
+	defer rt.Drain(context.Background())
+	cl := Class{
+		Kind:        "jittered",
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  2,
+		MaxDelay:    time.Second,
+		Jitter:      0.2,
+	}
+	id, _ := rt.Submit(cl, func(ctx context.Context, p *Progress) (any, error) {
+		return nil, errors.New("nope")
+	})
+	if s := waitTerminal(t, rt, id); s.State != "failed" {
+		t.Fatalf("state = %s, want failed", s.State)
+	}
+	sleeps := fc.recorded()
+	if len(sleeps) != cl.MaxAttempts-1 {
+		t.Fatalf("recorded %d sleeps, want %d", len(sleeps), cl.MaxAttempts-1)
+	}
+	n := cl.normalize()
+	for i, d := range sleeps {
+		raw := float64(n.BaseDelay) * math.Pow(n.Multiplier, float64(i))
+		if raw > float64(n.MaxDelay) {
+			raw = float64(n.MaxDelay)
+		}
+		lo, hi := time.Duration(raw*(1-n.Jitter)), time.Duration(raw*(1+n.Jitter))
+		if hi > n.MaxDelay {
+			hi = n.MaxDelay
+		}
+		if d < lo || d > hi {
+			t.Errorf("sleep[%d] = %v, outside jitter band [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+// TestZeroClassNormalizes: a zero-value Class is one attempt, no sleeps.
+func TestZeroClassNormalizes(t *testing.T) {
+	fc := newFakeClock()
+	rt := NewWithClock(1, 2, fc, 1)
+	defer rt.Drain(context.Background())
+	id, _ := rt.Submit(Class{Kind: "zero"}, func(ctx context.Context, p *Progress) (any, error) {
+		return nil, errors.New("only chance")
+	})
+	s := waitTerminal(t, rt, id)
+	if s.State != "failed" || s.Attempts != 1 {
+		t.Fatalf("state=%s attempts=%d, want failed after exactly 1 attempt", s.State, s.Attempts)
+	}
+	if len(fc.recorded()) != 0 {
+		t.Errorf("zero class slept %v, want no sleeps", fc.recorded())
+	}
+}
