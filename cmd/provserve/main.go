@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +50,7 @@ import (
 
 	"provpriv/internal/auth"
 	"provpriv/internal/exec"
+	"provpriv/internal/obs"
 	"provpriv/internal/privacy"
 	"provpriv/internal/repo"
 	"provpriv/internal/server"
@@ -102,9 +104,25 @@ func main() {
 		"read a secret from stdin, print its token-file digest, and exit")
 	newToken := flag.String("new-token", "",
 		"generate a random secret for NAME:ROLE:USER, print the secret and the token-file line, and exit")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	traceSample := flag.Int("trace-sample", 8,
+		"trace one request in N (1 traces everything, 0 disables tracing)")
+	traceRing := flag.Int("trace-ring", 256, "completed traces kept for GET /api/v1/debug/traces")
+	slowThreshold := flag.Duration("slow-threshold", 500*time.Millisecond,
+		"requests slower than this are logged and flagged in traces")
+	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof/ (admin role required)")
 	var users userFlags
 	flag.Var(&users, "user", "register a user as NAME=LEVEL (repeatable)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Route any stray std-log output (and the pre-structured fatal
+	// paths) through the structured handler too.
+	slog.SetDefault(logger)
 
 	if *hashSecret {
 		sc := bufio.NewScanner(os.Stdin)
@@ -144,8 +162,7 @@ func main() {
 		r = repo.New()
 		loadExample(r)
 	case *data != "":
-		var err error
-		if r, store, err = openDataDir(*data, *backendName); err != nil {
+		if r, store, err = openDataDir(logger, *data, *backendName); err != nil {
 			log.Fatalf("load %s: %v", *data, err)
 		}
 	default:
@@ -169,9 +186,19 @@ func main() {
 	}
 
 	srv := server.New(r)
-	srv.Logger = log.Default()
+	srv.Logger = logger
 	srv.Store = store
 	srv.AllowDisableTaint = *allowTaintOff
+	srv.EnablePprof = *enablePprof
+	srv.RequireStorage = store != nil
+
+	// The observability layer: request ids + per-route histograms on
+	// every request, sampled tracing through the engine, panic recovery.
+	metrics := obs.NewMetrics()
+	tracer := obs.NewTracer(*traceRing, *traceSample, *slowThreshold)
+	srv.Obs = obs.NewObserver(metrics, logger, tracer)
+
+	authMode := "trusted-headers (dev)"
 	if *tokenFile != "" {
 		a, err := auth.LoadFile(*tokenFile)
 		if err != nil {
@@ -179,13 +206,12 @@ func main() {
 		}
 		srv.Auth = a
 		srv.AllowHeaderAuth = *allowHeaderAuth
-		mode := "bearer tokens only"
+		authMode = "bearer-tokens"
 		if *allowHeaderAuth {
-			mode = "bearer tokens + read-only header principals"
+			authMode = "bearer-tokens+read-only-headers"
 		}
-		log.Printf("authn: %s (%d tokens)", mode, len(a.Stats()))
 	} else {
-		log.Print("authn: trusted X-Prov-User headers (dev mode; use -token-file in production)")
+		logger.Warn("trusted X-Prov-User headers accepted (dev mode; use -token-file in production)")
 	}
 	switch {
 	case *saveDir != "":
@@ -196,18 +222,39 @@ func main() {
 	var rt *tasks.Runtime
 	if *taskWorkers > 0 {
 		rt = tasks.New(*taskWorkers, *taskQueue)
+		// Terminal tasks feed the queue-wait/run histograms; sampled
+		// attempts get their own root traces in the debug ring.
+		rt.SetObserve(metrics.ObserveTask)
+		rt.SetTraceHook(tracer.StartRoot)
 		srv.Tasks = rt
-		log.Printf("task runtime: %d workers, queue %d", *taskWorkers, *taskQueue)
-	} else {
-		log.Print("task runtime disabled (-task-workers 0): async endpoints serve 503")
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	log.Printf("serving on %s", *addr)
+	// One structured record with the effective configuration, so any
+	// aggregated log stream identifies how this process was running.
+	logger.Info("serving",
+		"addr", *addr,
+		"data_dir", *data,
+		"backend", *backendName,
+		"example", *example,
+		"fanout_workers", *workers,
+		"task_workers", *taskWorkers,
+		"task_queue", *taskQueue,
+		"drain_timeout", *drainTimeout,
+		"compact_interval", *compactInterval,
+		"auth_mode", authMode,
+		"save_dir", srv.SaveDir,
+		"log_format", *logFormat,
+		"log_level", *logLevel,
+		"trace_sample", *traceSample,
+		"trace_ring", *traceRing,
+		"slow_threshold", *slowThreshold,
+		"pprof", *enablePprof,
+	)
 	fmt.Print(r.Describe())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -228,7 +275,7 @@ func main() {
 						continue
 					}
 					if id := srv.EnqueueCompaction(); id != "" {
-						log.Printf("compaction pass %s enqueued", id)
+						logger.Info("compaction pass enqueued", "task", id)
 					}
 				}
 			}
@@ -245,28 +292,38 @@ func main() {
 		// accepting requests and finish in-flight ones, let background
 		// tasks run down (stragglers are canceled at the deadline), then
 		// take a final snapshot so nothing accepted before the signal is
-		// lost, and release the storage backend.
+		// lost, and release the storage backend. Each stage logs its own
+		// duration so a slow shutdown names its culprit.
+		srv.SetDraining(true)
+		logger.Info("shutdown started", "drain_timeout", *drainTimeout)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		stage := time.Now()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: http: %v", err)
+			logger.Error("shutdown: http drain", "duration", time.Since(stage), "error", err)
+		} else {
+			logger.Info("shutdown: http drained", "duration", time.Since(stage))
 		}
 		if rt != nil {
+			stage = time.Now()
 			if err := rt.Drain(shutdownCtx); err != nil {
-				log.Printf("shutdown: task drain: %v", err)
+				logger.Error("shutdown: task drain", "duration", time.Since(stage), "error", err)
+			} else {
+				logger.Info("shutdown: tasks drained", "duration", time.Since(stage))
 			}
 		}
 		if srv.SaveDir != "" {
+			stage = time.Now()
 			if err := r.Save(srv.SaveDir); err != nil {
-				log.Printf("shutdown: final save: %v", err)
+				logger.Error("shutdown: final save", "duration", time.Since(stage), "error", err)
 			} else {
-				log.Printf("shutdown: saved to %s", srv.SaveDir)
+				logger.Info("shutdown: saved", "dir", srv.SaveDir, "duration", time.Since(stage))
 			}
 		}
 		if err := r.CloseStorage(); err != nil {
-			log.Printf("shutdown: close storage: %v", err)
+			logger.Error("shutdown: close storage", "error", err)
 		}
-		log.Print("bye")
+		logger.Info("shutdown complete")
 	}
 }
 
@@ -276,7 +333,7 @@ func main() {
 // marks the KV store); the -backend flag only picks the engine for a
 // fresh directory. Legacy pre-log directories load read-only and get a
 // measured flat backend bound for the migrating first save.
-func openDataDir(dir, backendName string) (*repo.Repository, *storage.Measure, error) {
+func openDataDir(logger *slog.Logger, dir, backendName string) (*repo.Repository, *storage.Measure, error) {
 	open := func(name string) (storage.Backend, error) {
 		if name == "kv" {
 			return storage.OpenKV(dir)
@@ -288,7 +345,7 @@ func openDataDir(dir, backendName string) (*repo.Repository, *storage.Measure, e
 	} else if _, err := os.Stat(filepath.Join(dir, "manifest.json")); os.IsNotExist(err) {
 		// A fresh directory: start empty — the mutation endpoints fill it
 		// and POST /api/v1/save commits the first snapshot.
-		log.Printf("no manifest in %s: starting empty repository (%s backend)", dir, backendName)
+		logger.Info("starting empty repository", "dir", dir, "backend", backendName)
 		b, err := open(backendName)
 		if err != nil {
 			return nil, nil, err
@@ -314,7 +371,7 @@ func openDataDir(dir, backendName string) (*repo.Repository, *storage.Measure, e
 		if r, err = repo.Load(dir); err != nil {
 			return nil, nil, err
 		}
-		log.Printf("legacy layout in %s: will migrate to the log engine on first save", dir)
+		logger.Info("legacy layout: will migrate to the log engine on first save", "dir", dir)
 		b, err = storage.OpenFlat(dir)
 		if err != nil {
 			return nil, nil, err

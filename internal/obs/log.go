@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+)
+
+// NewLogger builds the process logger: format is "text" or "json",
+// level one of "debug", "info", "warn", "error". The zero values
+// ("", "") mean text at info — the human default; "json" is the
+// aggregator default.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: bad log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: bad log format %q (want text or json)", format)
+}
+
+// Discard is a logger that drops everything — the nil-safe fallback so
+// serving code never needs a nil guard before logging.
+var Discard = slog.New(slog.DiscardHandler)
+
+// RequestLogger scopes base to one request: method, path, and — when
+// the request came through the Observer middleware — its request id and
+// authenticated principal. Built lazily on the paths that actually log
+// (failures, slow requests), never on the hot path.
+func RequestLogger(base *slog.Logger, w http.ResponseWriter, r *http.Request) *slog.Logger {
+	if base == nil {
+		base = Discard
+	}
+	l := base.With("method", r.Method, "path", r.URL.Path)
+	if rid := RequestID(w); rid != "" {
+		l = l.With("request_id", rid)
+	}
+	if p := Principal(w); p != "" {
+		l = l.With("principal", p)
+	}
+	return l
+}

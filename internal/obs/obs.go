@@ -1,0 +1,38 @@
+// Package obs is the engine's zero-dependency observability layer:
+// structured logging (log/slog construction helpers), a composable HTTP
+// middleware chain (request-id generation/propagation, per-route ×
+// status-class latency histograms in Prometheus exposition, in-flight
+// and response-size accounting, panic recovery), an in-process tracing
+// API (context-threaded spans collected into a lock-cheap ring buffer
+// of completed traces), and Go runtime gauges.
+//
+// Design constraints, in order:
+//
+//  1. The warm request path must stay allocation-free. The middleware
+//     pools its response recorders, histograms are fixed arrays of
+//     atomics keyed by the mux's matched pattern (an RWMutex map — no
+//     interface boxing), and tracing is sampled: an unsampled request
+//     never touches the tracer, so the only per-request allocations are
+//     the generated request id and its response-header slot — and none
+//     at all when the client already sent an X-Request-Id.
+//  2. No dependencies. Everything renders straight to the Prometheus
+//     text exposition format; ValidateExposition keeps the page honest.
+//  3. Instrumentation is optional everywhere: StartSpan on a context
+//     without a sampled trace is a no-op returning an inert Span, and
+//     every helper tolerates servers built without an Observer.
+package obs
+
+import "net/http"
+
+// Middleware is one composable layer of an HTTP middleware chain.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h in the given middlewares, first middleware outermost —
+// Chain(h, a, b) serves a(b(h)) — so the request-id/metrics layer can
+// sit outside rate limiting or auth layers added later.
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}

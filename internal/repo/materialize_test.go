@@ -1,6 +1,7 @@
 package repo
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -133,7 +134,7 @@ func assertViewSnapshotParity(t *testing.T, r *Repository, specID, execID string
 		if view == nil {
 			t.Fatalf("level %v: no materialized view", lvl)
 		}
-		snap, err := r.maskedExecFor(sh, e, lvl)
+		snap, err := r.maskedExecFor(context.Background(), sh, e, lvl)
 		if err != nil {
 			t.Fatalf("level %v: maskedExecFor: %v", lvl, err)
 		}

@@ -1,6 +1,7 @@
 package repo
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
 	"provpriv/internal/index"
+	"provpriv/internal/obs"
 	"provpriv/internal/privacy"
 	"provpriv/internal/storage"
 	"provpriv/internal/workflow"
@@ -72,8 +74,19 @@ type shardSaved struct {
 // holding a KV store keeps the KV backend, anything else gets flat
 // files. Indexes and caches are not persisted; Load rebuilds them.
 func (r *Repository) Save(dir string) error {
+	return r.SaveCtx(context.Background(), dir)
+}
+
+// SaveCtx is Save threaded with a context for tracing: a sampled save
+// request's trace shows the storage.save span with its per-backend-op
+// children (storage.append / storage.checkpoint / storage.commit). The
+// save itself is not cancelable — a half-written generation is exactly
+// the torn state the storage engine exists to avoid.
+func (r *Repository) SaveCtx(ctx context.Context, dir string) error {
 	r.saveMu.Lock()
 	defer r.saveMu.Unlock()
+	ctx, span := obs.StartSpan(ctx, "storage.save")
+	defer span.End()
 	if r.bound == nil || r.bound.key != dir {
 		b, err := openDirBackend(dir)
 		if err != nil {
@@ -89,7 +102,7 @@ func (r *Repository) Save(dir string) error {
 		}
 		r.bound = bound
 	}
-	if err := r.saveBound(r.bound); err != nil {
+	if err := r.saveBound(ctx, r.bound); err != nil {
 		// A half-applied save leaves the bookkeeping untrustworthy:
 		// drop the binding so the next Save rebinds and rewrites in full.
 		r.bound.b.Close()
@@ -115,6 +128,14 @@ func (r *Repository) BindStorage(b storage.Backend, key string) error {
 	}
 	r.bound = bound
 	return nil
+}
+
+// StorageBound reports whether the repository currently has a storage
+// backend attached — the readiness signal /readyz checks.
+func (r *Repository) StorageBound() bool {
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+	return r.bound != nil
 }
 
 // CloseStorage releases the bound backend, if any.
@@ -183,7 +204,7 @@ func snapshotShardState(sh *shard) shardSnap {
 // saveBound runs one save through the bound store. Each shard is locked
 // only while its state is snapshotted, so a long save does not freeze
 // the repository; the commit at the end is the single durability point.
-func (r *Repository) saveBound(bs *boundStore) error {
+func (r *Repository) saveBound(ctx context.Context, bs *boundStore) error {
 	gen := bs.gen + 1
 	meta := storage.Meta{Generation: gen, Shards: make(map[string]storage.ShardInfo)}
 	next := make(map[string]*shardSaved)
@@ -200,7 +221,7 @@ func (r *Repository) saveBound(bs *boundStore) error {
 			next[sid] = prev
 			continue
 		}
-		ss, err := bs.writeShard(sid, gen, snap, prev)
+		ss, err := bs.writeShard(ctx, sid, gen, snap, prev)
 		if err != nil {
 			return err
 		}
@@ -212,7 +233,10 @@ func (r *Repository) saveBound(bs *boundStore) error {
 		return fmt.Errorf("repo: save users: %w", err)
 	}
 	meta.Users = users
-	if err := bs.b.Commit(meta); err != nil {
+	_, commit := obs.StartSpan(ctx, "storage.commit")
+	err = bs.b.Commit(meta)
+	commit.End()
+	if err != nil {
 		return err
 	}
 	bs.gen = gen
@@ -238,7 +262,7 @@ func (ss *shardSaved) info() storage.ShardInfo {
 // the shard is new (or replaced under the same id). It never folds a
 // long log — that is CompactShard's job, off the save path — so a save
 // is always O(changed data).
-func (bs *boundStore) writeShard(sid string, gen uint64, snap shardSnap, prev *shardSaved) (*shardSaved, error) {
+func (bs *boundStore) writeShard(ctx context.Context, sid string, gen uint64, snap shardSnap, prev *shardSaved) (*shardSaved, error) {
 	if prev != nil && prev.spec == snap.spec {
 		recs, err := deltaRecords(sid, snap, prev)
 		if err != nil {
@@ -246,7 +270,9 @@ func (bs *boundStore) writeShard(sid string, gen uint64, snap shardSnap, prev *s
 		}
 		logLen := prev.logLen
 		if len(recs) > 0 {
+			_, span := obs.StartSpan(ctx, "storage.append")
 			logLen, err = bs.b.Append(sid, prev.ckptGen, prev.logLen, recs)
+			span.End()
 			if err != nil {
 				return nil, err
 			}
@@ -262,7 +288,10 @@ func (bs *boundStore) writeShard(sid string, gen uint64, snap shardSnap, prev *s
 	if err != nil {
 		return nil, err
 	}
-	if err := bs.b.WriteCheckpoint(sid, gen, recs); err != nil {
+	_, span := obs.StartSpan(ctx, "storage.checkpoint")
+	err = bs.b.WriteCheckpoint(sid, gen, recs)
+	span.End()
+	if err != nil {
 		return nil, err
 	}
 	return &shardSaved{

@@ -49,7 +49,7 @@ func (r *Repository) PrewarmMasked(ctx context.Context, specID string, levels []
 			continue // removed mid-warm
 		}
 		for _, lvl := range levels {
-			if _, err := r.maskedExecFor(sh, e, lvl); err != nil {
+			if _, err := r.maskedExecFor(ctx, sh, e, lvl); err != nil {
 				return built, err
 			}
 			built++

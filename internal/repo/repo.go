@@ -52,6 +52,7 @@ import (
 	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
 	"provpriv/internal/index"
+	"provpriv/internal/obs"
 	"provpriv/internal/privacy"
 	"provpriv/internal/query"
 	"provpriv/internal/rank"
@@ -1124,6 +1125,7 @@ func (r *Repository) SearchPageCtx(ctx context.Context, userName, queryText stri
 	// A shard removed since the index lookup counts as a non-match, the
 	// same transient the full path already tolerates.
 	matched := make([]bool, len(candidates))
+	_, matchSpan := obs.StartSpan(ctx, "search.fanout.match")
 	r.fanOut(len(candidates), func(i int) {
 		if ctx.Err() != nil {
 			return // caller gone: stop scanning, the ctx check below reports
@@ -1137,6 +1139,7 @@ func (r *Repository) SearchPageCtx(ctx context.Context, userName, queryText stri
 		sh.mu.RUnlock()
 		matched[i] = search.Matches(s, phrases, pol, u.Level)
 	})
+	matchSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
@@ -1159,6 +1162,7 @@ func (r *Repository) SearchPageCtx(ctx context.Context, userName, queryText stri
 	// Materialize minimal views for the window only, on the fan-out
 	// pool; slot i belongs to window[i], so order survives the merge.
 	slots := make([]*SearchHit, len(window))
+	_, viewSpan := obs.StartSpan(ctx, "search.fanout.views")
 	r.fanOut(len(window), func(i int) {
 		if ctx.Err() != nil {
 			return
@@ -1178,6 +1182,7 @@ func (r *Repository) SearchPageCtx(ctx context.Context, userName, queryText stri
 		}
 		slots[i] = &SearchHit{SpecID: sid, Score: scoreOf[sid], Result: res}
 	})
+	viewSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
@@ -1228,7 +1233,7 @@ func (r *Repository) queryContext(userName, specID, execID string) (*privacy.Use
 // reader; the returned execution is shared and MUST be treated as
 // read-only. The masking report is the one recorded at build time,
 // replayed by callers into the serving counters.
-func (r *Repository) maskedExecFor(sh *shard, e *exec.Execution, level privacy.Level) (maskedSnapshot, error) {
+func (r *Repository) maskedExecFor(ctx context.Context, sh *shard, e *exec.Execution, level privacy.Level) (maskedSnapshot, error) {
 	sh.mu.RLock()
 	pol := sh.policy
 	en := sh.engine
@@ -1246,14 +1251,20 @@ func (r *Repository) maskedExecFor(sh *shard, e *exec.Execution, level privacy.L
 		if snap, ok := sh.masked.Peek(key); ok {
 			return snap, nil
 		}
+		// The flight closure runs once for all concurrent callers; the
+		// fill spans land on the trace of the caller that paid for it.
+		fctx, fill := obs.StartSpan(ctx, "cache.masked_fill")
+		defer fill.End()
 		access := pol.AccessView(sh.hier, level)
-		view, err := r.collapsedView(sh, e, level, access, polGen)
+		view, err := r.collapsedView(fctx, sh, e, level, access, polGen)
 		if err != nil {
 			return maskedSnapshot{}, err
 		}
-		set := r.taintSetFor(sh, e, en, polGen)
+		set := r.taintSetFor(fctx, sh, e, en, polGen)
+		_, apply := obs.StartSpan(fctx, "mask.apply")
 		masked, rep := en.Apply(view, level, set)
 		prep, err := query.PrepareExec(masked)
+		apply.End()
 		if err != nil {
 			return maskedSnapshot{}, err
 		}
@@ -1272,8 +1283,8 @@ func (r *Repository) maskedExecFor(sh *shard, e *exec.Execution, level privacy.L
 // masked-snapshot cache: a warm query allocates nothing for privacy
 // enforcement (no masker, no deep copy, no rewrite pass) — only the
 // evaluation itself.
-func (r *Repository) evaluateQuery(sh *shard, e *exec.Execution, q *query.Query, level privacy.Level) (*query.Answer, error) {
-	snap, err := r.maskedExecFor(sh, e, level)
+func (r *Repository) evaluateQuery(ctx context.Context, sh *shard, e *exec.Execution, q *query.Query, level privacy.Level) (*query.Answer, error) {
+	snap, err := r.maskedExecFor(ctx, sh, e, level)
 	if err != nil {
 		return nil, err
 	}
@@ -1294,7 +1305,7 @@ func (r *Repository) Query(userName, specID, execID, queryText string) (*query.A
 	if err != nil {
 		return nil, err
 	}
-	return r.evaluateQuery(sh, e, q, u.Level)
+	return r.evaluateQuery(context.Background(), sh, e, q, u.Level)
 }
 
 // Reaches answers the paper's core structural-privacy question — "does
@@ -1493,12 +1504,13 @@ func (r *Repository) QueryAllPageCtx(ctx context.Context, userName, specID, quer
 	answers := make([]*query.Answer, len(execs))
 	snaps := make([]maskedSnapshot, len(execs))
 	errs := make([]error, len(execs))
+	matchCtx, matchSpan := obs.StartSpan(ctx, "query.fanout.match")
 	r.fanOut(len(execs), func(i int) {
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
 			return
 		}
-		snap, err := r.maskedExecFor(sh, execs[i], u.Level)
+		snap, err := r.maskedExecFor(matchCtx, sh, execs[i], u.Level)
 		if err != nil {
 			errs[i] = err
 			return
@@ -1508,6 +1520,7 @@ func (r *Repository) QueryAllPageCtx(ctx context.Context, userName, specID, quer
 		answers[i], errs[i] = ev.MatchOn(q, snap.prep, snap.pol, u.Level, snap.zoomed)
 		snaps[i] = snap
 	})
+	matchSpan.End()
 	if err := errors.Join(errs...); err != nil {
 		return nil, 0, err
 	}
@@ -1531,6 +1544,7 @@ func (r *Repository) QueryAllPageCtx(ctx context.Context, userName, specID, quer
 	// Phase 2 — materialize return clauses for the window only.
 	merrs := make([]error, len(out))
 	ev := query.NewEvaluator(sh.spec)
+	_, matSpan := obs.StartSpan(ctx, "query.fanout.materialize")
 	r.fanOut(len(out), func(i int) {
 		if err := ctx.Err(); err != nil {
 			merrs[i] = err
@@ -1538,6 +1552,7 @@ func (r *Repository) QueryAllPageCtx(ctx context.Context, userName, specID, quer
 		}
 		merrs[i] = ev.MaterializeReturn(q, out[i], prep[i])
 	})
+	matSpan.End()
 	if err := errors.Join(merrs...); err != nil {
 		return nil, 0, err
 	}
@@ -1547,7 +1562,7 @@ func (r *Repository) QueryAllPageCtx(ctx context.Context, userName, specID, quer
 // collapsedView returns the execution collapsed to the access view of
 // the given level, serving from the shard's singleflight-deduplicated
 // view cache: concurrent identical requests build the view once.
-func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.Level, access workflow.Prefix, polGen uint64) (*exec.Execution, error) {
+func (r *Repository) collapsedView(ctx context.Context, sh *shard, e *exec.Execution, level privacy.Level, access workflow.Prefix, polGen uint64) (*exec.Execution, error) {
 	key := viewCacheKey{execID: e.ID, level: level, polGen: polGen}
 	if v, ok := sh.views.Get(key); ok {
 		return v, nil
@@ -1556,6 +1571,8 @@ func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.L
 		if v, ok := sh.views.Peek(key); ok {
 			return v, nil
 		}
+		_, fill := obs.StartSpan(ctx, "cache.view_fill")
+		defer fill.End()
 		view, err := exec.Collapse(e, sh.spec, access)
 		if err != nil {
 			return nil, err
@@ -1575,7 +1592,7 @@ func (r *Repository) collapsedView(sh *shard, e *exec.Execution, level privacy.L
 // seeded under a replaced policy unreachable (see taintCacheKey). The
 // caller passes the shard's policy-scoped engine (analysis ignores its
 // generalizers), so no masker is constructed on this path.
-func (r *Repository) taintSetFor(sh *shard, e *exec.Execution, en *taint.Engine, polGen uint64) *taint.Set {
+func (r *Repository) taintSetFor(ctx context.Context, sh *shard, e *exec.Execution, en *taint.Engine, polGen uint64) *taint.Set {
 	key := taintCacheKey{execID: e.ID, polGen: polGen}
 	if s, ok := sh.taints.Get(key); ok {
 		return s
@@ -1584,6 +1601,8 @@ func (r *Repository) taintSetFor(sh *shard, e *exec.Execution, en *taint.Engine,
 		if s, ok := sh.taints.Peek(key); ok {
 			return s, nil
 		}
+		_, span := obs.StartSpan(ctx, "taint.analyze")
+		defer span.End()
 		s := en.Analyze(e)
 		sh.taints.Put(key, s)
 		return s, nil
@@ -1665,7 +1684,7 @@ func (r *Repository) ProvenanceWithCtx(ctx context.Context, userName, specID, ex
 		// Debug escape hatch: attribute-local masking only, uncached (a
 		// nil taint set degrades the engine) — never worth a cache slot.
 		access := pol.AccessView(sh.hier, u.Level)
-		view, err := r.collapsedView(sh, e, u.Level, access, polGen)
+		view, err := r.collapsedView(ctx, sh, e, u.Level, access, polGen)
 		if err != nil {
 			return nil, err
 		}
@@ -1683,7 +1702,7 @@ func (r *Repository) ProvenanceWithCtx(ctx context.Context, userName, specID, ex
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	snap, err := r.maskedExecFor(sh, e, u.Level)
+	snap, err := r.maskedExecFor(ctx, sh, e, u.Level)
 	if err != nil {
 		return nil, err
 	}

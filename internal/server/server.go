@@ -74,8 +74,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -83,6 +84,7 @@ import (
 	"provpriv/internal/auth"
 	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
+	"provpriv/internal/obs"
 	"provpriv/internal/privacy"
 	"provpriv/internal/query"
 	"provpriv/internal/repo"
@@ -101,8 +103,25 @@ const maxBodyBytes = 8 << 20
 type Server struct {
 	repo *repo.Repository
 	mux  *http.ServeMux
-	// Logger, when non-nil, receives one line per failed request.
-	Logger *log.Logger
+	// Logger, when non-nil, receives one structured record per failed
+	// request (and server-side write errors). Nil logs nothing.
+	Logger *slog.Logger
+	// Obs, when non-nil, is the observability layer Handler() wraps the
+	// mux in: request ids, per-route latency histograms, sampled traces
+	// and panic recovery. Its metrics and traces are served by /metrics
+	// and /api/v1/debug/traces. Nil leaves the server bare (tests).
+	Obs *obs.Observer
+	// EnablePprof exposes /debug/pprof/ (admin role). Off by default:
+	// profiles leak memory contents and symbol names, so an operator
+	// must opt in (provserve -pprof).
+	EnablePprof bool
+	// RequireStorage makes /readyz require a bound storage backend —
+	// set by servers that persist (provserve always does); in-memory
+	// servers stay ready without one.
+	RequireStorage bool
+	// draining flips when the operator starts shutdown; /readyz reports
+	// 503 so load balancers stop routing while in-flight work finishes.
+	draining atomic.Bool
 	// AllowDisableTaint honors the provenance taint=off debug parameter.
 	// Off by default: taint=off reopens the embedded-trace-value leak
 	// that internal/taint exists to close, so an operator must opt the
@@ -177,24 +196,61 @@ func New(r *repo.Repository) *Server {
 	// Metrics are operational, not user data: no principal required, so
 	// scrapers don't need a repository account.
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Probes: liveness is unconditional; readiness reflects storage
+	// binding and drain state. No auth — orchestrators don't hold tokens.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// Introspection: recent traces and profiles expose request patterns
+	// and process memory, so both are admin-only; pprof additionally
+	// needs the operator opt-in (EnablePprof).
+	s.mux.HandleFunc("GET /api/v1/debug/traces", s.withRole(auth.RoleAdmin, s.handleDebugTraces))
+	s.mux.HandleFunc("/debug/pprof/", s.withRole(auth.RoleAdmin, s.handlePprof))
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler, serving the bare mux. Production
+// callers serve Handler() instead to get the observability middleware.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// errorBody is the uniform failure envelope.
+// Handler returns the server wrapped in its observability middleware
+// (request ids, histograms, tracing, panic recovery), or the bare
+// server when no Observer is configured.
+func (s *Server) Handler() http.Handler {
+	if s.Obs == nil {
+		return s
+	}
+	return obs.Chain(s, s.Obs.Middleware)
+}
+
+// SetDraining flips the readiness signal: a draining server answers
+// /readyz with 503 so load balancers stop routing new work while
+// in-flight requests and background tasks finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// log returns the configured logger or a discard logger, so logging
+// call sites never nil-check.
+func (s *Server) log() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return obs.Discard
+}
+
+// errorBody is the uniform failure envelope. RequestID is filled when
+// the request came through the observability middleware, so users can
+// quote the id that server logs and traces are keyed by.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil && s.Logger != nil {
-		s.Logger.Printf("encode response: %v", err)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log().Error("encode response", "error", err)
 	}
 }
 
@@ -213,9 +269,9 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusConflict
 	}
 	if s.Logger != nil {
-		s.Logger.Printf("%s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+		obs.RequestLogger(s.Logger, w, r).Warn("request failed", "status", status, "error", err)
 	}
-	s.writeJSON(w, status, errorBody{Error: err.Error()})
+	s.writeJSON(w, status, errorBody{Error: err.Error(), RequestID: obs.RequestID(w)})
 }
 
 // userHandler is a handler that has already resolved its principal.
@@ -298,7 +354,81 @@ func (s *Server) withRole(min auth.Role, h userHandler) http.HandlerFunc {
 			s.fail(w, r, err)
 			return
 		}
+		// Stamp the principal on the recorder for completion logs, and —
+		// only when this request was sampled for tracing — open the
+		// handler span. StartSpan without a trace is free, so the
+		// unsampled path pays nothing here.
+		obs.SetPrincipal(w, name)
+		if ctx, span := obs.StartSpan(r.Context(), "handler"); span.Active() {
+			defer span.End()
+			r = r.WithContext(ctx)
+		}
 		h(w, r, name)
+	}
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: ready means the server is not
+// draining, the task runtime (when configured) is accepting work, and —
+// for persisting servers — a storage backend is bound.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "server draining")
+	}
+	if s.Tasks != nil && s.Tasks.Draining() {
+		reasons = append(reasons, "task runtime draining")
+	}
+	if s.RequireStorage && !s.repo.StorageBound() {
+		reasons = append(reasons, "storage not bound")
+	}
+	if len(reasons) > 0 {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "not ready", "reasons": reasons,
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleDebugTraces serves the tracer's ring of recent traces as span
+// trees, newest first. With no tracer configured the list is empty
+// rather than an error, so dashboards can probe unconditionally.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request, user string) {
+	traces := []obs.TraceView{}
+	var slow any
+	if s.Obs != nil && s.Obs.Tracer != nil {
+		traces = s.Obs.Tracer.Recent()
+		slow = s.Obs.Tracer.SlowThreshold().String()
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"slow_threshold": slow, "traces": traces,
+	})
+}
+
+// handlePprof dispatches the /debug/pprof/ subtree to net/http/pprof —
+// behind admin auth (withRole) and the operator's EnablePprof opt-in.
+// Disabled servers 404 so the surface is indistinguishable from absent.
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request, user string) {
+	if !s.EnablePprof {
+		http.NotFound(w, r)
+		return
+	}
+	switch strings.TrimPrefix(r.URL.Path, "/debug/pprof/") {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
 	}
 }
 
@@ -774,7 +904,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, user string)
 		s.fail(w, r, fmt.Errorf("server: no save directory configured"))
 		return
 	}
-	if err := s.repo.Save(s.SaveDir); err != nil {
+	if err := s.repo.SaveCtx(r.Context(), s.SaveDir); err != nil {
 		s.fail(w, r, err)
 		return
 	}
@@ -953,7 +1083,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "provpriv_auth_token_uses_total{token=%q,role=%q} %d\n", ts.Name, ts.Role, ts.Uses)
 		}
 	}
-	if _, err := io.WriteString(w, b.String()); err != nil && s.Logger != nil {
-		s.Logger.Printf("write metrics: %v", err)
+	if s.Obs != nil {
+		// The observability layer's families: per-route latency
+		// histograms, in-flight/panic counters, task histograms and Go
+		// runtime gauges.
+		s.Obs.Metrics.WritePrometheus(&b)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		s.log().Error("write metrics", "error", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"provpriv/internal/exec"
+	"provpriv/internal/obs"
 	"provpriv/internal/repo"
 	"provpriv/internal/tasks"
 )
@@ -62,9 +63,9 @@ func (s *Server) submitErr(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusTooManyRequests
 	}
 	if s.Logger != nil {
-		s.Logger.Printf("%s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+		obs.RequestLogger(s.Logger, w, r).Warn("task submission rejected", "status", status, "error", err)
 	}
-	s.writeJSON(w, status, errorBody{Error: err.Error()})
+	s.writeJSON(w, status, errorBody{Error: err.Error(), RequestID: obs.RequestID(w)})
 }
 
 // requireTasks serves 503 when no task runtime is configured.
@@ -330,9 +331,7 @@ func (s *Server) maybeEnqueueCompaction() string {
 	}
 	id, err := s.enqueueCompaction()
 	if err != nil {
-		if s.Logger != nil {
-			s.Logger.Printf("compaction enqueue: %v", err)
-		}
+		s.log().Warn("compaction enqueue failed", "error", err)
 		return ""
 	}
 	return id
@@ -353,9 +352,7 @@ func (s *Server) enqueuePrewarm(specID string) string {
 		return map[string]any{"spec": specID, "warmed": n}, nil
 	})
 	if err != nil {
-		if s.Logger != nil {
-			s.Logger.Printf("prewarm enqueue for %s: %v", specID, err)
-		}
+		s.log().Warn("prewarm enqueue failed", "spec", specID, "error", err)
 		return ""
 	}
 	return id

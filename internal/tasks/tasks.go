@@ -355,6 +355,45 @@ type Runtime struct {
 	failed    atomic.Int64
 	canceled  atomic.Int64
 	running   atomic.Int64
+
+	observe   atomic.Pointer[ObserveFunc]
+	traceHook atomic.Pointer[TraceHook]
+}
+
+// ObserveFunc receives one terminal task's class kind, time spent
+// queued, and attempt-loop run time. The signature mirrors the metrics
+// registry's ObserveTask so the packages stay decoupled.
+type ObserveFunc func(kind string, queueWait, run time.Duration)
+
+// TraceHook wraps one task attempt in a trace: it may return a derived
+// context carrying a root span and a finish func called when the
+// attempt returns. Mirrors the tracer's StartRoot.
+type TraceHook func(ctx context.Context, name string) (context.Context, func())
+
+// SetObserve installs the terminal-task observer. Pass nil to remove.
+// Safe to call while workers run.
+func (rt *Runtime) SetObserve(fn ObserveFunc) {
+	if fn == nil {
+		rt.observe.Store(nil)
+		return
+	}
+	rt.observe.Store(&fn)
+}
+
+// SetTraceHook installs the per-attempt trace hook. Pass nil to remove.
+func (rt *Runtime) SetTraceHook(fn TraceHook) {
+	if fn == nil {
+		rt.traceHook.Store(nil)
+		return
+	}
+	rt.traceHook.Store(&fn)
+}
+
+// Draining reports whether Drain has begun — used by readiness checks.
+func (rt *Runtime) Draining() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.draining
 }
 
 // New starts a runtime with the given worker count and queue capacity
@@ -593,7 +632,12 @@ func (rt *Runtime) run(t *Task) {
 			rt.finish(t, Canceled, t.ctx.Err(), nil)
 			return
 		}
-		result, err := t.fn(t.ctx, p)
+		actx, endSpan := t.ctx, func() {}
+		if hp := rt.traceHook.Load(); hp != nil {
+			actx, endSpan = (*hp)(t.ctx, "task."+t.class.Kind)
+		}
+		result, err := t.fn(actx, p)
+		endSpan()
 		if err == nil {
 			rt.finish(t, Succeeded, nil, result)
 			return
@@ -629,6 +673,8 @@ func (rt *Runtime) finish(t *Task, s State, err error, result any) {
 	if err != nil {
 		t.lastError = err.Error()
 	}
+	kind := t.class.Kind
+	created, started, finished := t.created, t.started, t.finished
 	t.mu.Unlock()
 	t.cancel() // release the context's resources
 	switch s {
@@ -638,5 +684,10 @@ func (rt *Runtime) finish(t *Task, s State, err error, result any) {
 		rt.failed.Add(1)
 	case Canceled:
 		rt.canceled.Add(1)
+	}
+	// Tasks canceled while still queued never started; they have no
+	// queue-wait or run time worth recording.
+	if op := rt.observe.Load(); op != nil && !started.IsZero() {
+		(*op)(kind, started.Sub(created), finished.Sub(started))
 	}
 }
