@@ -48,8 +48,10 @@ import (
 	"syscall"
 	"time"
 
+	"provpriv/internal/auditlog"
 	"provpriv/internal/auth"
 	"provpriv/internal/exec"
+	"provpriv/internal/limit"
 	"provpriv/internal/obs"
 	"provpriv/internal/privacy"
 	"provpriv/internal/repo"
@@ -98,6 +100,22 @@ func main() {
 		"bearer-token file (name:role:user:sha256hex per line); configuring it disables the trusted X-Prov-User header")
 	allowHeaderAuth := flag.Bool("allow-header-auth", false,
 		"with -token-file, keep accepting X-Prov-User header principals as read-only (migration bridge)")
+	tokenReload := flag.Duration("token-reload", 5*time.Second,
+		"poll the token file for changes at this interval and hot-swap the token set (0 disables polling; SIGHUP always forces a reload)")
+	rateReader := flag.Float64("rate-reader", 0,
+		"per-principal sustained request rate for reader-role principals, req/s (0 = unlimited)")
+	rateWriter := flag.Float64("rate-writer", 0,
+		"per-principal sustained request rate for writer-role principals, req/s (0 = unlimited)")
+	rateAdmin := flag.Float64("rate-admin", 0,
+		"per-principal sustained request rate for admin-role principals, req/s (0 = unlimited)")
+	rateBurst := flag.Float64("rate-burst", 10,
+		"token-bucket depth for the -rate-* limits: how many requests a principal may burst above the sustained rate")
+	maxInflight := flag.Int("max-inflight", 0,
+		"global cap on concurrently served requests; excess is shed with 503 (0 = unlimited)")
+	maxInflightPrincipal := flag.Int("max-inflight-principal", 0,
+		"per-principal cap on concurrent requests; excess is 429 + Retry-After (0 = unlimited)")
+	auditDir := flag.String("audit-log", "",
+		"directory for the append-only mutation audit log (who/what/when/outcome, queryable at GET /api/v1/audit; empty disables auditing)")
 	saveDir := flag.String("save-dir", "",
 		"directory POST /api/v1/save persists to (default: the -data directory; empty disables the endpoint)")
 	hashSecret := flag.Bool("hash-secret", false,
@@ -199,12 +217,13 @@ func main() {
 	srv.Obs = obs.NewObserver(metrics, logger, tracer)
 
 	authMode := "trusted-headers (dev)"
+	var authStore *auth.Store
 	if *tokenFile != "" {
-		a, err := auth.LoadFile(*tokenFile)
+		authStore, err = auth.NewFileStore(*tokenFile)
 		if err != nil {
 			log.Fatalf("token file: %v", err)
 		}
-		srv.Auth = a
+		srv.Auth = authStore
 		srv.AllowHeaderAuth = *allowHeaderAuth
 		authMode = "bearer-tokens"
 		if *allowHeaderAuth {
@@ -212,6 +231,37 @@ func main() {
 		}
 	} else {
 		logger.Warn("trusted X-Prov-User headers accepted (dev mode; use -token-file in production)")
+	}
+
+	// Admission control: only built when the operator configured at
+	// least one limit, so an unconfigured server keeps the zero-cost
+	// fast path.
+	if *rateReader > 0 || *rateWriter > 0 || *rateAdmin > 0 ||
+		*maxInflight > 0 || *maxInflightPrincipal > 0 {
+		srv.Limiter = limit.New(limit.Config{
+			MaxInFlight:             *maxInflight,
+			MaxInFlightPerPrincipal: *maxInflightPrincipal,
+		})
+		srv.Rates = server.RoleRates{
+			Reader: limit.Rate{PerSec: *rateReader, Burst: *rateBurst},
+			Writer: limit.Rate{PerSec: *rateWriter, Burst: *rateBurst},
+			Admin:  limit.Rate{PerSec: *rateAdmin, Burst: *rateBurst},
+		}
+	}
+
+	// Mutation audit log: its own storage directory (never mixed into
+	// the repository's shards) so the repo loader and the audit replay
+	// each see only their own record types.
+	var alog *auditlog.Log
+	if *auditDir != "" {
+		ab, err := storage.OpenFlat(*auditDir)
+		if err != nil {
+			log.Fatalf("audit log: %v", err)
+		}
+		if alog, err = auditlog.Open(ab); err != nil {
+			log.Fatalf("audit log: %v", err)
+		}
+		srv.Audit = alog
 	}
 	switch {
 	case *saveDir != "":
@@ -247,6 +297,14 @@ func main() {
 		"drain_timeout", *drainTimeout,
 		"compact_interval", *compactInterval,
 		"auth_mode", authMode,
+		"token_reload", *tokenReload,
+		"rate_reader", *rateReader,
+		"rate_writer", *rateWriter,
+		"rate_admin", *rateAdmin,
+		"rate_burst", *rateBurst,
+		"max_inflight", *maxInflight,
+		"max_inflight_principal", *maxInflightPrincipal,
+		"audit_log", *auditDir,
 		"save_dir", srv.SaveDir,
 		"log_format", *logFormat,
 		"log_level", *logLevel,
@@ -259,6 +317,47 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Hot token rotation: SIGHUP forces a reload, and (by default) an
+	// mtime/size poll picks up edits without any signal. A reload swaps
+	// the token set atomically — unchanged tokens are carried over by
+	// pointer, so in-flight requests never flap — and a malformed edit
+	// is logged and ignored, keeping the last good set.
+	if authStore != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			var tick <-chan time.Time
+			if *tokenReload > 0 {
+				t := time.NewTicker(*tokenReload)
+				defer t.Stop()
+				tick = t.C
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					if err := authStore.Reload(); err != nil {
+						logger.Error("token reload failed; keeping previous token set",
+							"trigger", "sighup", "error", err)
+					} else {
+						logger.Info("token file reloaded",
+							"trigger", "sighup", "tokens", len(authStore.Stats()))
+					}
+				case <-tick:
+					reloaded, err := authStore.MaybeReload()
+					if err != nil {
+						logger.Error("token reload failed; keeping previous token set",
+							"trigger", "poll", "error", err)
+					} else if reloaded {
+						logger.Info("token file reloaded",
+							"trigger", "poll", "tokens", len(authStore.Stats()))
+					}
+				}
+			}
+		}()
+	}
 
 	// Optional off-path compaction ticker: fold oversized shard logs even
 	// when nobody calls POST /api/v1/save or /api/v1/compact.
@@ -322,6 +421,11 @@ func main() {
 		}
 		if err := r.CloseStorage(); err != nil {
 			logger.Error("shutdown: close storage", "error", err)
+		}
+		if alog != nil {
+			if err := alog.Close(); err != nil {
+				logger.Error("shutdown: close audit log", "error", err)
+			}
 		}
 		logger.Info("shutdown complete")
 	}

@@ -1,0 +1,154 @@
+package auditlog
+
+import (
+	"fmt"
+	"testing"
+
+	"provpriv/internal/storage"
+)
+
+func openTestLog(t *testing.T, dir string) *Log {
+	t.Helper()
+	b, err := storage.OpenFlat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(b)
+	if err != nil {
+		b.Close()
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestAppendAssignsFields: Append fills seq, time and outcome; sequence
+// numbers are 1-based and strictly increasing.
+func TestAppendAssignsFields(t *testing.T) {
+	l := openTestLog(t, t.TempDir())
+	defer l.Close()
+
+	if err := l.Append(Record{Principal: "alice", Action: "spec.add", Status: 201}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Principal: "bob", Action: "spec.remove", Status: 403}); err != nil {
+		t.Fatal(err)
+	}
+	recs, total := l.Recent(Query{})
+	if total != 2 || len(recs) != 2 {
+		t.Fatalf("total=%d len=%d, want 2/2", total, len(recs))
+	}
+	// Newest first.
+	if recs[0].Seq != 2 || recs[1].Seq != 1 {
+		t.Fatalf("seqs = %d,%d, want 2,1", recs[0].Seq, recs[1].Seq)
+	}
+	if recs[0].Outcome != "denied" || recs[1].Outcome != "ok" {
+		t.Fatalf("outcomes = %q,%q, want denied,ok", recs[0].Outcome, recs[1].Outcome)
+	}
+	if recs[0].Time.IsZero() || recs[1].Time.IsZero() {
+		t.Fatal("Append left Time zero")
+	}
+}
+
+// TestReopenSurvivesRestart: records are durable and the sequence
+// counter continues where it left off after a close/reopen.
+func TestReopenSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Principal: "alice", Action: "spec.add", Status: 201}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openTestLog(t, dir)
+	defer l.Close()
+	recs, total := l.Recent(Query{})
+	if total != 3 || len(recs) != 3 {
+		t.Fatalf("after reopen: total=%d len=%d, want 3/3", total, len(recs))
+	}
+	if err := l.Append(Record{Principal: "alice", Action: "spec.remove", Status: 200}); err != nil {
+		t.Fatal(err)
+	}
+	recs, total = l.Recent(Query{})
+	if total != 4 || recs[0].Seq != 4 {
+		t.Fatalf("post-reopen append: total=%d seq=%d, want 4/4 (sequence continues)", total, recs[0].Seq)
+	}
+}
+
+// TestRingRotation: the durable total keeps counting past the query
+// window; the window holds the newest ringSize records.
+func TestRingRotation(t *testing.T) {
+	l := openTestLog(t, t.TempDir())
+	defer l.Close()
+	const n = ringSize + 10
+	for i := 0; i < n; i++ {
+		if err := l.Append(Record{Principal: "alice", Action: "exec.add", Status: 201}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, total := l.Recent(Query{Limit: ringSize})
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+	if len(recs) != ringSize {
+		t.Fatalf("window = %d records, want %d", len(recs), ringSize)
+	}
+	if recs[0].Seq != n || recs[len(recs)-1].Seq != n-ringSize+1 {
+		t.Fatalf("window spans seq %d..%d, want %d..%d",
+			recs[len(recs)-1].Seq, recs[0].Seq, n-ringSize+1, n)
+	}
+}
+
+// TestRecentFilters: principal/action filters and the limit cap.
+func TestRecentFilters(t *testing.T) {
+	l := openTestLog(t, t.TempDir())
+	defer l.Close()
+	for i := 0; i < 6; i++ {
+		p := "alice"
+		if i%2 == 1 {
+			p = "bob"
+		}
+		a := "spec.add"
+		if i%3 == 0 {
+			a = "policy.update"
+		}
+		if err := l.Append(Record{Principal: p, Action: a, Status: 200, Target: fmt.Sprintf("t%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _ := l.Recent(Query{Principal: "bob"})
+	if len(recs) != 3 {
+		t.Fatalf("bob records = %d, want 3", len(recs))
+	}
+	for _, r := range recs {
+		if r.Principal != "bob" {
+			t.Fatalf("filter leaked record for %q", r.Principal)
+		}
+	}
+	recs, _ = l.Recent(Query{Action: "policy.update"})
+	if len(recs) != 2 {
+		t.Fatalf("policy.update records = %d, want 2", len(recs))
+	}
+	recs, _ = l.Recent(Query{Limit: 2})
+	if len(recs) != 2 || recs[0].Seq != 6 {
+		t.Fatalf("limit 2: got %d records, newest seq %d", len(recs), recs[0].Seq)
+	}
+}
+
+// TestOutcomeFor pins the status classification.
+func TestOutcomeFor(t *testing.T) {
+	cases := map[int]string{
+		200: "ok", 201: "ok", 202: "ok",
+		401: "denied", 403: "denied",
+		400: "rejected", 404: "rejected", 409: "rejected", 413: "rejected", 429: "rejected",
+		500: "error", 503: "error",
+	}
+	for status, want := range cases {
+		if got := OutcomeFor(status); got != want {
+			t.Fatalf("OutcomeFor(%d) = %q, want %q", status, got, want)
+		}
+	}
+}

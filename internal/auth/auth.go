@@ -117,6 +117,11 @@ type Token struct {
 // authenticated.
 func (t *Token) Uses() int64 { return t.uses.Load() }
 
+// digest returns the hex-encoded secret digest — the token-file
+// representation. Not exported: the only consumer is the Store's file
+// writer.
+func (t *Token) digest() string { return hex.EncodeToString(t.hash[:]) }
+
 // TokenStat is one token's metrics snapshot (no secret material).
 type TokenStat struct {
 	Name string `json:"name"`

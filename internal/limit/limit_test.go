@@ -1,0 +1,294 @@
+package limit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBucketBurstAndRefill: a fresh principal gets its full burst, then
+// rejections until tokens refill at the configured rate.
+func TestBucketBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Config{})
+	l.SetClock(clk.Now)
+	r := Rate{PerSec: 2, Burst: 3}
+
+	for i := 0; i < 3; i++ {
+		d := l.Allow("alice", r)
+		if !d.OK {
+			t.Fatalf("burst request %d rejected: %v", i, d.Reason)
+		}
+		d.Release()
+	}
+	d := l.Allow("alice", r)
+	if d.OK {
+		t.Fatal("4th request within the burst window admitted")
+	}
+	if d.Reason != ReasonRate {
+		t.Fatalf("reason = %v, want rate", d.Reason)
+	}
+	// Empty bucket at 2 tokens/s: one token refills in 500ms.
+	if d.RetryAfter <= 0 || d.RetryAfter > 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want (0, 500ms]", d.RetryAfter)
+	}
+	d.Release() // rejected Release must be a safe no-op
+
+	clk.Advance(500 * time.Millisecond)
+	if d := l.Allow("alice", r); !d.OK {
+		t.Fatalf("request after refill rejected: %v", d.Reason)
+	} else {
+		d.Release()
+	}
+
+	// A long idle period refills to the burst cap, not beyond.
+	clk.Advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if d := l.Allow("alice", r); d.OK {
+			admitted++
+			d.Release()
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted %d after long idle, want burst cap 3", admitted)
+	}
+}
+
+// TestZeroRateUnlimited: a zero Rate never rate-rejects.
+func TestZeroRateUnlimited(t *testing.T) {
+	l := New(Config{})
+	l.SetClock(newFakeClock().Now)
+	for i := 0; i < 1000; i++ {
+		d := l.Allow("anyone", Rate{})
+		if !d.OK {
+			t.Fatalf("request %d rejected under zero rate: %v", i, d.Reason)
+		}
+		d.Release()
+	}
+}
+
+// TestBucketsAreIndependent: one principal exhausting its budget never
+// costs another principal a token.
+func TestBucketsAreIndependent(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Config{})
+	l.SetClock(clk.Now)
+	r := Rate{PerSec: 1, Burst: 2}
+
+	for i := 0; ; i++ {
+		d := l.Allow("noisy", r)
+		if !d.OK {
+			break
+		}
+		d.Release()
+		if i > 10 {
+			t.Fatal("noisy principal never exhausted")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if d := l.Allow("quiet", r); !d.OK {
+			t.Fatalf("quiet principal rejected (%v) after noisy exhausted its own bucket", d.Reason)
+		} else {
+			d.Release()
+		}
+	}
+}
+
+// TestPerPrincipalInFlightCap: holding Decisions open hits the
+// concurrency cap; Release frees a slot.
+func TestPerPrincipalInFlightCap(t *testing.T) {
+	l := New(Config{MaxInFlightPerPrincipal: 2})
+	l.SetClock(newFakeClock().Now)
+
+	d1 := l.Allow("alice", Rate{})
+	d2 := l.Allow("alice", Rate{})
+	if !d1.OK || !d2.OK {
+		t.Fatal("first two concurrent requests rejected")
+	}
+	d3 := l.Allow("alice", Rate{})
+	if d3.OK {
+		t.Fatal("3rd concurrent request admitted past cap 2")
+	}
+	if d3.Reason != ReasonConcurrency {
+		t.Fatalf("reason = %v, want concurrency", d3.Reason)
+	}
+	// Another principal is unaffected.
+	if d := l.Allow("bob", Rate{}); !d.OK {
+		t.Fatalf("other principal rejected: %v", d.Reason)
+	} else {
+		d.Release()
+	}
+	d1.Release()
+	if d := l.Allow("alice", Rate{}); !d.OK {
+		t.Fatalf("request after Release rejected: %v", d.Reason)
+	} else {
+		d.Release()
+	}
+	d2.Release()
+}
+
+// TestGlobalInFlightCap: AcquireGlobal admits up to the cap and counts
+// overload rejections.
+func TestGlobalInFlightCap(t *testing.T) {
+	l := New(Config{MaxInFlight: 2})
+	if !l.AcquireGlobal() || !l.AcquireGlobal() {
+		t.Fatal("acquisitions within cap refused")
+	}
+	if l.AcquireGlobal() {
+		t.Fatal("acquisition past cap admitted")
+	}
+	l.ReleaseGlobal()
+	if !l.AcquireGlobal() {
+		t.Fatal("acquisition after release refused")
+	}
+	l.ReleaseGlobal()
+	l.ReleaseGlobal()
+	if st := l.Stats(); st.RejectedOverload != 1 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want 1 overload rejection and 0 in flight", st)
+	}
+}
+
+// TestEviction: the bucket map stays bounded, evicting the LRU idle
+// bucket; buckets with requests in flight are never evicted.
+func TestEviction(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Config{MaxPrincipals: 3})
+	l.SetClock(clk.Now)
+
+	held := l.Allow("pinned", Rate{})
+	if !held.OK {
+		t.Fatal("pinned rejected")
+	}
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second) // distinct lastUsed per bucket
+		d := l.Allow(fmt.Sprintf("p%d", i), Rate{})
+		if !d.OK {
+			t.Fatalf("p%d rejected", i)
+		}
+		d.Release()
+	}
+	st := l.Stats()
+	if st.Principals > 3 {
+		t.Fatalf("principals = %d, want ≤ 3", st.Principals)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	for _, ps := range st.PerPrincipal {
+		if ps.Principal == "pinned" {
+			held.Release()
+			return
+		}
+	}
+	t.Fatal("pinned bucket (in flight) was evicted")
+}
+
+// TestStatsSnapshot: counters and bucket state per principal.
+func TestStatsSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Config{})
+	l.SetClock(clk.Now)
+	r := Rate{PerSec: 1, Burst: 2}
+
+	d := l.Allow("alice", r)
+	d.Release()
+	l.Allow("alice", r).Release()
+	if d := l.Allow("alice", r); d.OK { // bucket empty now
+		t.Fatal("expected rate rejection")
+	}
+	st := l.Stats()
+	if st.Allowed != 2 || st.RejectedRate != 1 {
+		t.Fatalf("allowed=%d rejectedRate=%d, want 2/1", st.Allowed, st.RejectedRate)
+	}
+	if len(st.PerPrincipal) != 1 || st.PerPrincipal[0].Principal != "alice" {
+		t.Fatalf("per-principal = %+v", st.PerPrincipal)
+	}
+	ps := st.PerPrincipal[0]
+	if ps.Allowed != 2 || ps.RejectedRate != 1 || ps.TokensLeft >= 1 {
+		t.Fatalf("alice stats = %+v", ps)
+	}
+}
+
+// TestConcurrentAllow hammers a few buckets from many goroutines (run
+// with -race): invariants, not exact counts — in-flight returns to
+// zero and allowed+rejected equals the request total.
+func TestConcurrentAllow(t *testing.T) {
+	l := New(Config{MaxInFlight: 8, MaxInFlightPerPrincipal: 4, MaxPrincipals: 8})
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("p%d", g%4)
+			for i := 0; i < perG; i++ {
+				if !l.AcquireGlobal() {
+					continue
+				}
+				d := l.Allow(key, Rate{PerSec: 1e9, Burst: 1e9})
+				d.Release()
+				l.ReleaseGlobal()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("in flight after drain = %d", st.InFlight)
+	}
+	for _, ps := range st.PerPrincipal {
+		if ps.InFlight != 0 {
+			t.Fatalf("principal %s in flight = %d", ps.Principal, ps.InFlight)
+		}
+	}
+}
+
+// TestAllowWarmPathAllocs: the admitted warm path (existing bucket)
+// must not allocate — the transport's ≤1-alloc budget depends on it.
+func TestAllowWarmPathAllocs(t *testing.T) {
+	l := New(Config{MaxInFlightPerPrincipal: 100})
+	l.Allow("alice", Rate{PerSec: 1e9, Burst: 1e9}).Release() // create the bucket
+	allocs := testing.AllocsPerRun(500, func() {
+		d := l.Allow("alice", Rate{PerSec: 1e9, Burst: 1e9})
+		d.Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Allow/Release allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestReasonString pins the strings the transport embeds in 429 bodies.
+func TestReasonString(t *testing.T) {
+	for want, r := range map[string]Reason{
+		"none": ReasonNone, "rate": ReasonRate, "concurrency": ReasonConcurrency,
+	} {
+		if got := r.String(); got != want {
+			t.Fatalf("Reason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -80,10 +80,28 @@ func (rec *Recorder) Flush() {
 // Unwrap lets http.ResponseController reach the underlying writer.
 func (rec *Recorder) Unwrap() http.ResponseWriter { return rec.ResponseWriter }
 
+// recorderOf finds the middleware's Recorder under w, walking Unwrap
+// chains so layers stacked above it (the server's audit writer, a
+// future compression wrapper) stay transparent. Nil when w never came
+// through the middleware. The walk is assertion-only: no allocation.
+func recorderOf(w http.ResponseWriter) *Recorder {
+	for w != nil {
+		if rec, ok := w.(*Recorder); ok {
+			return rec
+		}
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return nil
+		}
+		w = u.Unwrap()
+	}
+	return nil
+}
+
 // RequestID returns the request id the middleware assigned to this
 // request, or "" when w did not come through the middleware.
 func RequestID(w http.ResponseWriter) string {
-	if rec, ok := w.(*Recorder); ok {
+	if rec := recorderOf(w); rec != nil {
 		return rec.rid
 	}
 	return ""
@@ -93,14 +111,14 @@ func RequestID(w http.ResponseWriter) string {
 // recorder so completion logs and traces can name it. No-op for
 // writers outside the middleware.
 func SetPrincipal(w http.ResponseWriter, name string) {
-	if rec, ok := w.(*Recorder); ok {
+	if rec := recorderOf(w); rec != nil {
 		rec.principal = name
 	}
 }
 
 // Principal returns the principal recorded by SetPrincipal, if any.
 func Principal(w http.ResponseWriter) string {
-	if rec, ok := w.(*Recorder); ok {
+	if rec := recorderOf(w); rec != nil {
 		return rec.principal
 	}
 	return ""
@@ -110,8 +128,8 @@ func Principal(w http.ResponseWriter) string {
 // handlers use it to decide whether to pay for a request clone. False
 // for unsampled requests and writers outside the middleware.
 func Traced(w http.ResponseWriter) bool {
-	rec, ok := w.(*Recorder)
-	return ok && rec.trace != nil
+	rec := recorderOf(w)
+	return rec != nil && rec.trace != nil
 }
 
 // validRequestID accepts client-supplied ids that are safe to echo into

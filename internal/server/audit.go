@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"provpriv/internal/auditlog"
+	"provpriv/internal/obs"
+)
+
+// auditWriter wraps the ResponseWriter for the duration of one audited
+// mutation, capturing the final status plus the identity/target fields
+// that withRole and the handler stash as the request progresses. It
+// sits *above* the obs.Recorder (audited runs inside the mux, the
+// middleware outside), and exposes Unwrap so the obs helpers and
+// http.ResponseController keep reaching the layers below.
+type auditWriter struct {
+	http.ResponseWriter
+	status    int
+	principal string
+	token     string
+	role      string
+	target    string
+}
+
+func (a *auditWriter) WriteHeader(code int) {
+	if a.status == 0 {
+		a.status = code
+	}
+	a.ResponseWriter.WriteHeader(code)
+}
+
+func (a *auditWriter) Write(p []byte) (int, error) {
+	if a.status == 0 {
+		a.status = http.StatusOK
+	}
+	return a.ResponseWriter.Write(p)
+}
+
+// Unwrap keeps the writer chain walkable (obs.recorderOf,
+// http.ResponseController).
+func (a *auditWriter) Unwrap() http.ResponseWriter { return a.ResponseWriter }
+
+// auditWriterOf finds the audited() wrapper under w, if this request is
+// an audited mutation. Handlers and withRole call the setters below
+// unconditionally; on non-audited requests they are no-ops.
+func auditWriterOf(w http.ResponseWriter) *auditWriter {
+	for w != nil {
+		if aw, ok := w.(*auditWriter); ok {
+			return aw
+		}
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return nil
+		}
+		w = u.Unwrap()
+	}
+	return nil
+}
+
+// setAuditIdentity records who the request authenticated as, once
+// withRole knows. Denied requests that never reach a handler still get
+// identity when authentication itself succeeded.
+func (s *Server) setAuditIdentity(w http.ResponseWriter, c creds) {
+	if s.Audit == nil {
+		return
+	}
+	if aw := auditWriterOf(w); aw != nil {
+		aw.principal, aw.token, aw.role = c.user, c.token, c.role.String()
+	}
+}
+
+// setAuditTarget records the entity the mutation acted on (spec id,
+// execution id, token name), once the handler has resolved it.
+func setAuditTarget(w http.ResponseWriter, target string) {
+	if aw := auditWriterOf(w); aw != nil {
+		aw.target = target
+	}
+}
+
+// audited wraps a mutation route so that every request through it —
+// succeeded, rejected, or denied — appends exactly one record to the
+// audit log before the response is complete. The append is durable
+// (storage commit) but failure to audit does not fail the mutation:
+// the mutation already happened when the record is cut, so the honest
+// behavior is to log the audit error loudly (audit_errors_total) and
+// serve the response, not to 500 a committed change. With no audit log
+// configured the wrapper is a direct call.
+func (s *Server) audited(action string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Audit == nil {
+			h(w, r)
+			return
+		}
+		aw := &auditWriter{ResponseWriter: w}
+		h(aw, r)
+		status := aw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		err := s.Audit.Append(auditlog.Record{
+			RequestID: obs.RequestID(w),
+			Principal: aw.principal,
+			Token:     aw.token,
+			Role:      aw.role,
+			Action:    action,
+			Target:    aw.target,
+			Status:    status,
+		})
+		if err != nil {
+			s.auditErrors.Add(1)
+			s.log().Error("audit append failed", "action", action, "error", err)
+		}
+	}
+}
+
+// handleAudit serves the recent audit window, newest first, with
+// optional principal/action filters — GET /api/v1/audit
+// [?principal=P][&action=A][&limit=N], admin only.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request, user string) {
+	if s.Audit == nil {
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"enabled": false, "records": []auditlog.Record{}, "total": 0,
+		})
+		return
+	}
+	q := auditlog.Query{
+		Principal: r.URL.Query().Get("principal"),
+		Action:    r.URL.Query().Get("action"),
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.fail(w, r, fmt.Errorf("server: bad limit %q", v))
+			return
+		}
+		q.Limit = n
+	}
+	recs, total := s.Audit.Recent(q)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true, "records": recs, "total": total,
+	})
+}

@@ -74,7 +74,7 @@ func FuzzMutationBody(f *testing.F) {
 			t.Skip()
 		}
 		srv := New(newRepo())
-		srv.Auth = a
+		srv.Auth = auth.NewStore(a)
 		req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
 		req.Header.Set("Authorization", "Bearer fuzz-secret")
 		rec := httptest.NewRecorder()

@@ -44,7 +44,7 @@ func newAuthedServer(t *testing.T) (*httptest.Server, *Server, *repo.Repository,
 		t.Fatalf("auth.New: %v", err)
 	}
 	srv := New(r)
-	srv.Auth = a
+	srv.Auth = auth.NewStore(a)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts, srv, r, e

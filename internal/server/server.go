@@ -13,6 +13,14 @@
 //	repo.ErrExists      → 409
 //	other request error → 400
 //
+// The transport itself adds the admission-control statuses (see
+// Server.Handler and internal/limit): an oversized request body is cut
+// off with 413; a principal past its rate or concurrency budget gets
+// 429 with a Retry-After header (as does a full task queue) — back off
+// and retry here; a draining or globally overloaded server sheds with
+// 503 and no Retry-After — fail over to another node. Probes and
+// /metrics bypass admission so an overloaded server stays observable.
+//
 // # Authentication
 //
 // Two schemes, chosen by server configuration:
@@ -50,6 +58,10 @@
 //	GET    /api/v1/tasks/{id}                       one task's state/progress/result [writer]
 //	DELETE /api/v1/tasks/{id}                       cancel a pending or running task [writer]
 //	POST   /api/v1/compact                          async compaction pass over oversized shards [admin]
+//	GET    /api/v1/tokens                           list tokens (name/user/role/uses — never secrets) [admin]
+//	POST   /api/v1/tokens                           mint a token; generated secret echoed once [admin]
+//	DELETE /api/v1/tokens/{name}                    revoke a token, effective immediately [admin]
+//	GET    /api/v1/audit[?principal=P][&action=A][&limit=L]  recent mutation audit records [admin]
 //	GET    /metrics                                 Prometheus-style counters (no auth)
 //
 // The task endpoints serve 503 unless the operator configured a task
@@ -75,15 +87,18 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
 
+	"provpriv/internal/auditlog"
 	"provpriv/internal/auth"
 	"provpriv/internal/datapriv"
 	"provpriv/internal/exec"
+	"provpriv/internal/limit"
 	"provpriv/internal/obs"
 	"provpriv/internal/privacy"
 	"provpriv/internal/query"
@@ -94,8 +109,9 @@ import (
 )
 
 // maxBodyBytes bounds mutation request bodies (a workflow spec or an
-// execution trace; generous, but not a DoS vector).
-const maxBodyBytes = 8 << 20
+// execution trace; generous, but not a DoS vector). A variable so tests
+// can lower it to exercise the 413 path without megabyte payloads.
+var maxBodyBytes int64 = 8 << 20
 
 // Server serves a Repository over HTTP. It is stateless apart from the
 // repository and two counters: handlers are safe for arbitrary
@@ -135,7 +151,26 @@ type Server struct {
 	// When nil, the server runs in the PR 1 trusted-header mode: any
 	// registered principal named by X-Prov-User is fully trusted (role
 	// admin) — acceptable on a private network, never on a shared one.
-	Auth *auth.Authenticator
+	// The Store is hot-swappable: rotating the token file (SIGHUP or
+	// mtime poll in provserve) or the /api/v1/tokens endpoints take
+	// effect on the next request, without a restart.
+	Auth *auth.Store
+	// Limiter, when non-nil, is the admission controller: per-principal
+	// token buckets (rate per role, see Rates) checked after
+	// authentication, plus the global in-flight cap applied by the
+	// admission middleware in Handler(). Per-principal rejections are
+	// 429 + Retry-After; global overload and draining are 503, so
+	// clients can tell "you specifically, slow down" from "everyone,
+	// come back later". Nil admits everything.
+	Limiter *limit.Limiter
+	// Rates maps each authenticated role to its token-bucket budget.
+	// Zero rates are unlimited.
+	Rates RoleRates
+	// Audit, when non-nil, receives exactly one durable record per
+	// mutation-endpoint request (including denied ones): who, what,
+	// when, outcome, threaded with the obs request id. Queryable via
+	// GET /api/v1/audit (admin). Nil disables auditing.
+	Audit *auditlog.Log
 	// AllowHeaderAuth re-admits the trusted-header scheme next to a
 	// token file, as read-only (role reader): a migration bridge so
 	// legacy read clients keep working while writers move to tokens.
@@ -163,6 +198,11 @@ type Server struct {
 	// denials (both exported via /metrics and /stats).
 	mutations    atomic.Int64
 	authFailures atomic.Int64
+	// shedDraining counts requests refused with 503 because the server
+	// was draining; auditErrors counts mutations whose audit append
+	// failed (the mutation itself still completed — see audited).
+	shedDraining atomic.Int64
+	auditErrors  atomic.Int64
 	// compactTask remembers the last submitted compaction task id so a
 	// save burst enqueues one pass, not one per save.
 	compactTask atomic.Value
@@ -178,21 +218,31 @@ func New(r *repo.Repository) *Server {
 	s.mux.HandleFunc("GET /api/v1/provenance", s.withRole(auth.RoleReader, s.handleProvenance))
 	s.mux.HandleFunc("GET /api/v1/stats", s.withRole(auth.RoleReader, s.handleStats))
 	// The mutation surface: every engine mutator, behind writer (or
-	// admin, for save) role authz.
-	s.mux.HandleFunc("POST /api/v1/specs", s.withRole(auth.RoleWriter, s.handleAddSpec))
-	s.mux.HandleFunc("POST /api/v1/executions", s.withRole(auth.RoleWriter, s.handleAddExecution))
-	s.mux.HandleFunc("DELETE /api/v1/specs/{id}", s.withRole(auth.RoleWriter, s.handleRemoveSpec))
-	s.mux.HandleFunc("PUT /api/v1/policy", s.withRole(auth.RoleWriter, s.handleUpdatePolicy))
-	s.mux.HandleFunc("PUT /api/v1/generalization", s.withRole(auth.RoleWriter, s.handleSetGeneralization))
-	s.mux.HandleFunc("POST /api/v1/save", s.withRole(auth.RoleAdmin, s.handleSave))
+	// admin, for save) role authz. Each mutation route is additionally
+	// wrapped in audited(): exactly one durable audit record per
+	// request, including denied ones (a probe of the write surface is
+	// itself worth recording).
+	s.mux.HandleFunc("POST /api/v1/specs", s.audited("spec.add", s.withRole(auth.RoleWriter, s.handleAddSpec)))
+	s.mux.HandleFunc("POST /api/v1/executions", s.audited("exec.add", s.withRole(auth.RoleWriter, s.handleAddExecution)))
+	s.mux.HandleFunc("DELETE /api/v1/specs/{id}", s.audited("spec.remove", s.withRole(auth.RoleWriter, s.handleRemoveSpec)))
+	s.mux.HandleFunc("PUT /api/v1/policy", s.audited("policy.update", s.withRole(auth.RoleWriter, s.handleUpdatePolicy)))
+	s.mux.HandleFunc("PUT /api/v1/generalization", s.audited("generalization.set", s.withRole(auth.RoleWriter, s.handleSetGeneralization)))
+	s.mux.HandleFunc("POST /api/v1/save", s.audited("repo.save", s.withRole(auth.RoleAdmin, s.handleSave)))
 	// The async surface: bulk ingest and task introspection need writer
 	// (tasks expose mutation progress and accept cancellation),
 	// compaction is an operator action.
-	s.mux.HandleFunc("POST /api/v1/executions:bulk", s.withRole(auth.RoleWriter, s.handleBulkExecutions))
+	s.mux.HandleFunc("POST /api/v1/executions:bulk", s.audited("exec.bulk", s.withRole(auth.RoleWriter, s.handleBulkExecutions)))
 	s.mux.HandleFunc("GET /api/v1/tasks", s.withRole(auth.RoleWriter, s.handleListTasks))
 	s.mux.HandleFunc("GET /api/v1/tasks/{id}", s.withRole(auth.RoleWriter, s.handleGetTask))
-	s.mux.HandleFunc("DELETE /api/v1/tasks/{id}", s.withRole(auth.RoleWriter, s.handleCancelTask))
-	s.mux.HandleFunc("POST /api/v1/compact", s.withRole(auth.RoleAdmin, s.handleCompact))
+	s.mux.HandleFunc("DELETE /api/v1/tasks/{id}", s.audited("task.cancel", s.withRole(auth.RoleWriter, s.handleCancelTask)))
+	s.mux.HandleFunc("POST /api/v1/compact", s.audited("repo.compact", s.withRole(auth.RoleAdmin, s.handleCompact)))
+	// Token lifecycle: list/mint/revoke bearer tokens at runtime, admin
+	// only. Mutations are audited like any other; the audit log itself
+	// is queryable (admin) so "who rotated what" has an answer.
+	s.mux.HandleFunc("GET /api/v1/tokens", s.withRole(auth.RoleAdmin, s.handleListTokens))
+	s.mux.HandleFunc("POST /api/v1/tokens", s.audited("token.add", s.withRole(auth.RoleAdmin, s.handleAddToken)))
+	s.mux.HandleFunc("DELETE /api/v1/tokens/{name}", s.audited("token.remove", s.withRole(auth.RoleAdmin, s.handleRemoveToken)))
+	s.mux.HandleFunc("GET /api/v1/audit", s.withRole(auth.RoleAdmin, s.handleAudit))
 	// Metrics are operational, not user data: no principal required, so
 	// scrapers don't need a repository account.
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -214,14 +264,52 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Handler returns the server wrapped in its observability middleware
-// (request ids, histograms, tracing, panic recovery), or the bare
-// server when no Observer is configured.
+// Handler returns the production middleware stack around the mux:
+// observability outermost (so shed responses still get request ids and
+// show up in route histograms), then admission (drain shedding + the
+// global in-flight cap), then the routes. With no Observer the
+// admission layer still applies; tests that serve the Server directly
+// bypass both.
 func (s *Server) Handler() http.Handler {
+	h := s.admission(s)
 	if s.Obs == nil {
-		return s
+		return h
 	}
-	return obs.Chain(s, s.Obs.Middleware)
+	return obs.Chain(h, s.Obs.Middleware)
+}
+
+// admission is the transport-level shed point, ahead of routing and
+// authentication: a draining server refuses new work with 503 so load
+// balancers fail over, and the limiter's global in-flight cap bounds
+// total concurrency regardless of who is asking. Per-principal limits
+// are enforced later, in withRole, where identity is known. Probes and
+// metrics are exempt — orchestrators and scrapers must see a draining
+// server, that is the point of draining.
+func (s *Server) admission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/readyz", "/metrics":
+			next.ServeHTTP(w, r)
+			return
+		}
+		if s.draining.Load() {
+			s.shedDraining.Add(1)
+			// No Retry-After: this process is going away, not busy — a
+			// client should fail over, not wait it out.
+			s.writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: "server: draining", RequestID: obs.RequestID(w)})
+			return
+		}
+		if s.Limiter != nil {
+			if !s.Limiter.AcquireGlobal() {
+				s.writeJSON(w, http.StatusServiceUnavailable,
+					errorBody{Error: "server: overloaded, too many requests in flight", RequestID: obs.RequestID(w)})
+				return
+			}
+			defer s.Limiter.ReleaseGlobal()
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // SetDraining flips the readiness signal: a draining server answers
@@ -258,6 +346,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 // errors and writes the envelope.
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusBadRequest
+	var maxBytes *http.MaxBytesError
 	switch {
 	case errors.Is(err, repo.ErrUnknownUser):
 		status = http.StatusUnauthorized
@@ -267,6 +356,12 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, repo.ErrExists):
 		status = http.StatusConflict
+	case errors.As(err, &maxBytes):
+		// An oversized body is the client's request being too large, not
+		// malformed: 413, so clients distinguish "split your payload"
+		// from "fix your JSON". Decoders wrap with %w to keep the
+		// MaxBytesError reachable here.
+		status = http.StatusRequestEntityTooLarge
 	}
 	if s.Logger != nil {
 		obs.RequestLogger(s.Logger, w, r).Warn("request failed", "status", status, "error", err)
@@ -277,62 +372,115 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 // userHandler is a handler that has already resolved its principal.
 type userHandler func(w http.ResponseWriter, r *http.Request, user string)
 
-// principal resolves the request's (repository user, role) pair from
-// the configured authentication scheme(s); fromQuery reports that the
-// principal came from the bare ?user= URL parameter. See the package
-// comment for the scheme matrix.
-func (s *Server) principal(r *http.Request) (user string, role auth.Role, fromQuery bool, err error) {
+// RoleRates maps authenticated roles to their token-bucket budgets
+// (zero = unlimited for that role).
+type RoleRates struct {
+	Reader limit.Rate
+	Writer limit.Rate
+	Admin  limit.Rate
+}
+
+// rateFor picks the budget for a role.
+func (s *Server) rateFor(role auth.Role) limit.Rate {
+	switch role {
+	case auth.RoleAdmin:
+		return s.Rates.Admin
+	case auth.RoleWriter:
+		return s.Rates.Writer
+	default:
+		return s.Rates.Reader
+	}
+}
+
+// creds is principal()'s result: the resolved identity plus the
+// rate-limit bucket key. Returned by value — no allocation.
+type creds struct {
+	user string
+	role auth.Role
+	// key buckets rate limiting: the token's name for bearer auth (two
+	// tokens sharing a repository user are budgeted separately), the
+	// principal's name for header auth. Raw, not prefixed — prefixing
+	// would cost an allocation per request; the only consequence is
+	// that in mixed bearer+header-bridge mode a token named like a
+	// principal shares that principal's bucket, which is benign.
+	key string
+	// token is the bearer token's name, "" for header auth (audit).
+	token     string
+	fromQuery bool
+}
+
+// principal resolves the request's identity from the configured
+// authentication scheme(s); c.fromQuery reports that the principal came
+// from the bare ?user= URL parameter. See the package comment for the
+// scheme matrix.
+func (s *Server) principal(r *http.Request) (c creds, err error) {
 	if authz := r.Header.Get("Authorization"); authz != "" {
 		// RFC 7235 auth-scheme names are case-insensitive ("bearer" must
 		// work); the secret itself is untouched.
 		scheme, secret, ok := strings.Cut(authz, " ")
 		if !ok || !strings.EqualFold(scheme, "Bearer") {
-			return "", 0, false, fmt.Errorf("server: unsupported Authorization scheme: %w", repo.ErrUnknownUser)
+			return c, fmt.Errorf("server: unsupported Authorization scheme: %w", repo.ErrUnknownUser)
 		}
 		if s.Auth == nil {
-			return "", 0, false, fmt.Errorf("server: token auth not configured: %w", repo.ErrUnknownUser)
+			return c, fmt.Errorf("server: token auth not configured: %w", repo.ErrUnknownUser)
 		}
 		tok, ok := s.Auth.Authenticate(secret)
 		if !ok {
-			return "", 0, false, fmt.Errorf("server: invalid token: %w", repo.ErrUnknownUser)
+			return c, fmt.Errorf("server: invalid token: %w", repo.ErrUnknownUser)
 		}
-		return tok.User, tok.Role, false, nil
+		return creds{user: tok.User, role: tok.Role, key: tok.Name, token: tok.Name}, nil
 	}
 	// Header scheme. With a token file configured it is rejected unless
 	// the operator explicitly bridged it — and then it is read-only.
 	if s.Auth != nil && !s.AllowHeaderAuth {
-		return "", 0, false, fmt.Errorf("server: bearer token required: %w", repo.ErrUnknownUser)
+		return c, fmt.Errorf("server: bearer token required: %w", repo.ErrUnknownUser)
 	}
 	name := r.Header.Get("X-Prov-User")
+	fromQuery := false
 	if name == "" {
 		name = r.URL.Query().Get("user")
 		fromQuery = name != ""
 	}
 	if name == "" {
-		return "", 0, false, fmt.Errorf("server: missing credentials (Authorization or X-Prov-User): %w", repo.ErrUnknownUser)
+		return c, fmt.Errorf("server: missing credentials (Authorization or X-Prov-User): %w", repo.ErrUnknownUser)
 	}
-	role = auth.RoleAdmin // no token file: trusted headers, dev mode
+	role := auth.RoleAdmin // no token file: trusted headers, dev mode
 	if s.Auth != nil {
 		role = auth.RoleReader // migration bridge: header auth reads only
 	}
-	return name, role, fromQuery, nil
+	return creds{user: name, role: role, key: name, fromQuery: fromQuery}, nil
+}
+
+// limited writes the per-principal 429 with the Retry-After hint —
+// "you specifically, slow down", as opposed to the admission layer's
+// 503 "everyone, come back later".
+func (s *Server) limited(w http.ResponseWriter, r *http.Request, d limit.Decision) {
+	secs := int(math.Ceil(d.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeJSON(w, http.StatusTooManyRequests, errorBody{
+		Error:     "server: rate limit exceeded (" + d.Reason.String() + ")",
+		RequestID: obs.RequestID(w),
+	})
 }
 
 // withRole authenticates the request principal and enforces the
-// endpoint's minimum role. The user must be registered in the
-// repository; endpoints pass the name down so the engine re-checks the
-// privacy level on every operation (no privilege caching in the
-// transport). Authentication rejections and role denials feed the
-// auth_failures_total counter.
+// endpoint's minimum role, then the principal's admission budget. The
+// user must be registered in the repository; endpoints pass the name
+// down so the engine re-checks the privacy level on every operation
+// (no privilege caching in the transport). Authentication rejections
+// and role denials feed the auth_failures_total counter.
 func (s *Server) withRole(min auth.Role, h userHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		name, role, fromQuery, err := s.principal(r)
+		c, err := s.principal(r)
 		if err != nil {
 			s.authFailures.Add(1)
 			s.fail(w, r, err)
 			return
 		}
-		if fromQuery && min > auth.RoleReader {
+		if c.fromQuery && min > auth.RoleReader {
 			// The bare ?user= parameter is a curl convenience for reads.
 			// A browser can forge it in a cross-site "simple request"
 			// (no preflight), so in dev mode it would make the write
@@ -343,27 +491,43 @@ func (s *Server) withRole(min auth.Role, h userHandler) http.HandlerFunc {
 			s.fail(w, r, fmt.Errorf("server: mutations require header credentials, not the user parameter: %w", repo.ErrUnknownUser))
 			return
 		}
-		if !role.Allows(min) {
+		if !c.role.Allows(min) {
 			s.authFailures.Add(1)
+			s.setAuditIdentity(w, c)
 			s.fail(w, r, fmt.Errorf("server: role %s may not use this endpoint (need %s): %w",
-				role, min, repo.ErrDenied))
+				c.role, min, repo.ErrDenied))
 			return
 		}
-		if _, err := s.repo.User(name); err != nil {
+		if _, err := s.repo.User(c.user); err != nil {
 			s.authFailures.Add(1)
 			s.fail(w, r, err)
 			return
 		}
-		// Stamp the principal on the recorder for completion logs, and —
-		// only when this request was sampled for tracing — open the
-		// handler span. StartSpan without a trace is free, so the
-		// unsampled path pays nothing here.
-		obs.SetPrincipal(w, name)
+		// Per-principal admission, after authentication so the bucket
+		// key is a verified identity (pre-auth flood damage is bounded
+		// by the global cap). The Decision is a value and Release is a
+		// method on it, so the admitted path allocates nothing.
+		if s.Limiter != nil {
+			d := s.Limiter.Allow(c.key, s.rateFor(c.role))
+			if !d.OK {
+				s.setAuditIdentity(w, c)
+				s.limited(w, r, d)
+				return
+			}
+			defer d.Release()
+		}
+		// Stamp the principal on the recorder for completion logs (and
+		// the audit writer, when this is a mutation), and — only when
+		// this request was sampled for tracing — open the handler span.
+		// StartSpan without a trace is free, so the unsampled path pays
+		// nothing here.
+		obs.SetPrincipal(w, c.user)
+		s.setAuditIdentity(w, c)
 		if ctx, span := obs.StartSpan(r.Context(), "handler"); span.Active() {
 			defer span.End()
 			r = r.WithContext(ctx)
 		}
-		h(w, r, name)
+		h(w, r, c.user)
 	}
 }
 
@@ -693,7 +857,9 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request, user s
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		return nil, fmt.Errorf("server: read request body: %v", err)
+		// %w: a *http.MaxBytesError inside must stay reachable for
+		// fail()'s 413 mapping.
+		return nil, fmt.Errorf("server: read request body: %w", err)
 	}
 	return data, nil
 }
@@ -707,7 +873,9 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("server: bad request body: %v", err)
+		// %w: a *http.MaxBytesError inside must stay reachable for
+		// fail()'s 413 mapping.
+		return fmt.Errorf("server: bad request body: %w", err)
 	}
 	var trailing json.RawMessage
 	if err := dec.Decode(&trailing); err != io.EOF {
@@ -766,6 +934,7 @@ func (s *Server) handleAddSpec(w http.ResponseWriter, r *http.Request, user stri
 		s.fail(w, r, fmt.Errorf("server: spec needs a non-empty id"))
 		return
 	}
+	setAuditTarget(w, spec.ID)
 	if req.Policy != nil && req.Policy.SpecID != "" && req.Policy.SpecID != spec.ID {
 		s.fail(w, r, fmt.Errorf("server: policy is for spec %q, not %q", req.Policy.SpecID, spec.ID))
 		return
@@ -800,6 +969,7 @@ func (s *Server) handleAddExecution(w http.ResponseWriter, r *http.Request, user
 		s.fail(w, r, fmt.Errorf("server: execution needs non-empty id and spec"))
 		return
 	}
+	setAuditTarget(w, e.ID)
 	if err := s.repo.AddExecution(e); err != nil {
 		s.fail(w, r, err)
 		return
@@ -809,6 +979,7 @@ func (s *Server) handleAddExecution(w http.ResponseWriter, r *http.Request, user
 
 func (s *Server) handleRemoveSpec(w http.ResponseWriter, r *http.Request, user string) {
 	id := r.PathValue("id")
+	setAuditTarget(w, id)
 	if err := s.repo.RemoveSpec(id); err != nil {
 		s.fail(w, r, err)
 		return
@@ -833,6 +1004,7 @@ func (s *Server) handleUpdatePolicy(w http.ResponseWriter, r *http.Request, user
 		s.fail(w, r, fmt.Errorf("server: policy request needs a spec id"))
 		return
 	}
+	setAuditTarget(w, req.Spec)
 	if req.Policy != nil && req.Policy.SpecID != "" && req.Policy.SpecID != req.Spec {
 		s.fail(w, r, fmt.Errorf("server: policy is for spec %q, not %q", req.Policy.SpecID, req.Spec))
 		return
@@ -872,6 +1044,7 @@ func (s *Server) handleSetGeneralization(w http.ResponseWriter, r *http.Request,
 		s.fail(w, r, fmt.Errorf("server: generalization request needs a spec id"))
 		return
 	}
+	setAuditTarget(w, req.Spec)
 	for attr, h := range req.Hierarchies {
 		if h == nil {
 			s.fail(w, r, fmt.Errorf("server: nil hierarchy for attribute %q", attr))
@@ -904,6 +1077,7 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request, user string)
 		s.fail(w, r, fmt.Errorf("server: no save directory configured"))
 		return
 	}
+	setAuditTarget(w, s.SaveDir)
 	if err := s.repo.SaveCtx(r.Context(), s.SaveDir); err != nil {
 		s.fail(w, r, err)
 		return
@@ -951,6 +1125,19 @@ type statsBody struct {
 	AuthFailures int64            `json:"auth_failures_total"`
 	Tokens       []auth.TokenStat `json:"tokens,omitempty"`
 
+	// Limits reports the admission controller's counters and live
+	// bucket state per principal (only when a limiter is configured).
+	// Per-principal rows live here, not in /metrics: principal names
+	// are unbounded-cardinality label values.
+	Limits *limit.Stats `json:"limits,omitempty"`
+	// ShedDraining counts requests refused because the server was
+	// draining.
+	ShedDraining int64 `json:"shed_draining_total"`
+	// AuditRecords / AuditErrors report the mutation audit log (only
+	// when auditing is configured).
+	AuditRecords uint64 `json:"audit_records_total,omitempty"`
+	AuditErrors  int64  `json:"audit_errors_total,omitempty"`
+
 	// Storage reports the measured backend's operation counters (only
 	// when the server was started with a bound storage backend).
 	Storage *storage.MeasureStats `json:"storage,omitempty"`
@@ -994,8 +1181,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, user string
 	// there (adding Auth.Failures() would double-count).
 	body.Mutations = s.mutations.Load()
 	body.AuthFailures = s.authFailures.Load()
+	body.ShedDraining = s.shedDraining.Load()
 	if s.Auth != nil {
 		body.Tokens = s.Auth.Stats()
+	}
+	if s.Limiter != nil {
+		ls := s.Limiter.Stats()
+		body.Limits = &ls
+	}
+	if s.Audit != nil {
+		body.AuditRecords = s.Audit.Total()
+		body.AuditErrors = s.auditErrors.Load()
 	}
 	if s.Store != nil {
 		st := s.Store.Stats()
@@ -1046,6 +1242,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("masked_exec_cache_misses_total", "Per-shard masked-execution snapshot cache misses.", st.MaskedCacheMisses)
 	metric("mutations_total", "Successful mutation-endpoint requests.", s.mutations.Load())
 	metric("auth_failures_total", "Rejected authentications and authorization denials.", s.authFailures.Load())
+	metric("shed_draining_total", "Requests refused with 503 because the server was draining.", s.shedDraining.Load())
+	if s.Limiter != nil {
+		// Admission aggregates only; per-principal bucket state is in
+		// /stats (principal names are unbounded label cardinality).
+		ls := s.Limiter.Stats()
+		metric("limit_allowed_total", "Requests admitted by the rate limiter.", ls.Allowed)
+		metric("limit_rejected_rate_total", "Requests rejected 429 by a per-principal token bucket.", ls.RejectedRate)
+		metric("limit_rejected_concurrency_total", "Requests rejected 429 by a per-principal in-flight cap.", ls.RejectedConcurrency)
+		metric("limit_rejected_overload_total", "Requests rejected 503 by the global in-flight cap.", ls.RejectedOverload)
+		metric("limit_bucket_evictions_total", "Idle per-principal buckets evicted to bound the map.", ls.Evictions)
+		metric("limit_in_flight", "Requests currently inside the admission gate.", ls.InFlight)
+		metric("limit_principals", "Per-principal buckets currently tracked.", int64(ls.Principals))
+	}
+	if s.Audit != nil {
+		metric("audit_records_total", "Mutation audit records durably appended.", int64(s.Audit.Total()))
+		metric("audit_errors_total", "Mutations whose audit append failed.", s.auditErrors.Load())
+	}
 	if s.Store != nil {
 		ss := s.Store.Stats()
 		metric("storage_appends_total", "Log append batches written to the storage backend.", int64(ss.Appends))

@@ -24,8 +24,9 @@ import (
 
 // bulkMaxBodyBytes bounds the bulk-ingest body. Bulk exists to load a
 // corpus in one request, so it gets a far larger cap than the single-
-// object mutation endpoints.
-const bulkMaxBodyBytes = 256 << 20
+// object mutation endpoints. A variable so tests can lower it to
+// exercise the 413 path without quarter-gigabyte payloads.
+var bulkMaxBodyBytes int64 = 256 << 20
 
 // bulkErrorCap bounds the per-item errors echoed in a bulk result; the
 // failed count is always exact, the error list is a sample.
@@ -61,6 +62,11 @@ func (s *Server) submitErr(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusServiceUnavailable
 	if errors.Is(err, tasks.ErrQueueFull) {
 		status = http.StatusTooManyRequests
+		// Backpressure, not rejection: tell bulk clients when to come
+		// back instead of letting them hammer the full queue. Queue
+		// drain time is workload-dependent; one second is the
+		// shortest honest hint.
+		w.Header().Set("Retry-After", "1")
 	}
 	if s.Logger != nil {
 		obs.RequestLogger(s.Logger, w, r).Warn("task submission rejected", "status", status, "error", err)
@@ -119,6 +125,7 @@ func (s *Server) handleCancelTask(w http.ResponseWriter, r *http.Request, user s
 	if !s.requireTasks(w, r) {
 		return
 	}
+	setAuditTarget(w, r.PathValue("id"))
 	snap, err := s.Tasks.Cancel(r.PathValue("id"))
 	if err != nil {
 		s.fail(w, r, fmt.Errorf("server: %v: %w", err, repo.ErrNotFound))
@@ -229,7 +236,7 @@ func decodeBulkItems(w http.ResponseWriter, r *http.Request) ([]json.RawMessage,
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, bulkMaxBodyBytes))
 	tok, err := dec.Token()
 	if err != nil {
-		return nil, fmt.Errorf("server: bad bulk body: %v", err)
+		return nil, fmt.Errorf("server: bad bulk body: %w", err)
 	}
 	if d, ok := tok.(json.Delim); !ok || d != '[' {
 		return nil, fmt.Errorf("server: bulk body must be a JSON array of executions")
@@ -238,12 +245,14 @@ func decodeBulkItems(w http.ResponseWriter, r *http.Request) ([]json.RawMessage,
 	for dec.More() {
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
-			return nil, fmt.Errorf("server: bad bulk body at item %d: %v", len(items), err)
+			// %w keeps an oversized body's *http.MaxBytesError reachable
+			// for fail()'s 413 mapping.
+			return nil, fmt.Errorf("server: bad bulk body at item %d: %w", len(items), err)
 		}
 		items = append(items, raw)
 	}
 	if _, err := dec.Token(); err != nil { // closing ']'
-		return nil, fmt.Errorf("server: bad bulk body: %v", err)
+		return nil, fmt.Errorf("server: bad bulk body: %w", err)
 	}
 	var trailing json.RawMessage
 	if err := dec.Decode(&trailing); err != io.EOF {

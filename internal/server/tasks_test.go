@@ -31,7 +31,7 @@ func newTaskServer(t *testing.T, workers, queue int) (*httptest.Server, *Server,
 		t.Fatalf("auth.New: %v", err)
 	}
 	srv := New(r)
-	srv.Auth = a
+	srv.Auth = auth.NewStore(a)
 	rt := tasks.New(workers, queue)
 	srv.Tasks = rt
 	t.Cleanup(func() {

@@ -55,6 +55,10 @@ const (
 	// RecHier carries a spec's generalization hierarchies (JSON map of
 	// attribute to ladder). Key: spec id.
 	RecHier
+	// RecAudit carries one mutation audit entry (JSON, internal/audit).
+	// Key: decimal sequence number. Audit records live in their own
+	// backend directory, never in a repository shard.
+	RecAudit
 )
 
 func (t RecordType) String() string {
@@ -67,6 +71,8 @@ func (t RecordType) String() string {
 		return "exec"
 	case RecHier:
 		return "hier"
+	case RecAudit:
+		return "audit"
 	}
 	return fmt.Sprintf("record(%d)", uint8(t))
 }
