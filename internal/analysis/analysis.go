@@ -1,0 +1,83 @@
+// Package analysis assembles provlint's analyzer suite: the
+// mechanically enforced versions of the concurrency, metrics, privacy
+// and protocol contracts this repository has already been burned by.
+// Each analyzer's Doc names the invariant; the README's "Static
+// analysis & invariants" table maps each one to the PR and bug that
+// motivated it.
+//
+// cmd/provlint drives the suite over ./... in CI; TestProvlintCleanTree
+// drives it in-process so a regression fails `go test ./...` too.
+package analysis
+
+import (
+	"time"
+
+	"provpriv/internal/analysis/cachekey"
+	"provpriv/internal/analysis/ctxflow"
+	"provpriv/internal/analysis/envelope"
+	"provpriv/internal/analysis/lintkit"
+	"provpriv/internal/analysis/lockorder"
+	"provpriv/internal/analysis/monotonic"
+)
+
+// Suite is every provlint analyzer, in report order.
+var Suite = []*lintkit.Analyzer{
+	lockorder.Analyzer,
+	monotonic.Analyzer,
+	ctxflow.Analyzer,
+	cachekey.Analyzer,
+	envelope.Analyzer,
+}
+
+// Timing is one analyzer's wall time over a package set.
+type Timing struct {
+	Check  string        `json:"check"`
+	Wall   time.Duration `json:"-"`
+	WallMS float64       `json:"wall_ms"`
+}
+
+// Result is one full suite run: surviving findings plus per-analyzer
+// and load cost, the numbers BENCH_lint.json tracks.
+type Result struct {
+	Findings []lintkit.Finding
+	Packages int
+	LoadWall time.Duration
+	Timings  []Timing
+}
+
+// RunTree loads every package matching the patterns under moduleDir
+// and runs the suite. Analyzers are timed individually (the repeated
+// ignore-comment scan is noise next to type-checking cost).
+func RunTree(moduleDir string, patterns ...string) (*Result, error) {
+	loader := lintkit.NewLoader()
+	start := time.Now()
+	pkgs, err := loader.LoadModule(moduleDir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Packages: len(pkgs), LoadWall: time.Since(start)}
+	// Each per-analyzer Run re-scans ignore comments and re-reports any
+	// malformed ones; keep one copy per position.
+	seenIgnoreSyntax := make(map[string]bool)
+	for _, a := range Suite {
+		t0 := time.Now()
+		findings, err := lintkit.Run(pkgs, []*lintkit.Analyzer{a})
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(t0)
+		res.Timings = append(res.Timings, Timing{Check: a.Name, Wall: wall, WallMS: float64(wall.Nanoseconds()) / 1e6})
+		for _, f := range findings {
+			if f.Check == "ignore-syntax" {
+				key := f.Position.String()
+				if seenIgnoreSyntax[key] {
+					continue
+				}
+				seenIgnoreSyntax[key] = true
+			}
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	lintkit.SortFindings(res.Findings)
+	return res, nil
+}

@@ -1,0 +1,221 @@
+// Package cachekey enforces %q-quoting of wire-writable values
+// interpolated into cache and singleflight keys.
+//
+// PR 5's review found that composite keys like
+// "masked|"+specID+"|"+execID let a client-chosen ID containing the
+// separator collide two shards' singleflight fills — one request's
+// masked snapshot served under another's key. The fix quoted every
+// interpolated ID with %q; this check makes the quoting mechanical.
+//
+// A fmt.Sprintf call is in key context when its result is assigned to
+// a variable whose name contains "key", or when it is passed directly
+// to a Do/Get/Put/Forget-style cache or singleflight method. In key
+// context, a %s or %v verb whose argument is string-typed is reported
+// (ints and enums are collision-safe; strings are the wire-writable
+// surface). Building a key by concatenating unquoted string values is
+// reported for the same reason.
+package cachekey
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"provpriv/internal/analysis/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "cachekey",
+	Doc: "string values interpolated into cache/singleflight keys must be %q-quoted so IDs " +
+		"containing the separator cannot collide two entries",
+	Run: run,
+}
+
+// keyMethods are callee names whose string arguments are cache or
+// singleflight keys.
+var keyMethods = map[string]bool{
+	"Do": true, "Get": true, "Put": true, "Forget": true, "Delete": true,
+}
+
+func run(pass *lintkit.Pass) error {
+	lintkit.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isSprintf(pass, x) && inKeyContext(stack, x) {
+				checkFormat(pass, x)
+			}
+		case *ast.AssignStmt:
+			checkConcat(pass, x)
+		}
+	})
+	return nil
+}
+
+func isSprintf(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && obj.Name() == "Sprintf"
+}
+
+// inKeyContext walks outward from the Sprintf call: assigned to a
+// *key*-named variable, or passed straight into a key-taking method.
+func inKeyContext(stack []ast.Node, call *ast.CallExpr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "key") {
+					return true
+				}
+			}
+			return false
+		case *ast.ValueSpec:
+			for _, name := range p.Names {
+				if strings.Contains(strings.ToLower(name.Name), "key") {
+					return true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if sel, ok := p.Fun.(*ast.SelectorExpr); ok && keyMethods[sel.Sel.Name] {
+				for _, arg := range p.Args {
+					if arg == call {
+						return true
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkFormat parses the constant format string and reports %s/%v
+// verbs whose argument is string-typed.
+func checkFormat(pass *lintkit.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return
+	}
+	format := tv.Value.String()
+	if len(format) >= 2 && format[0] == '"' {
+		format = format[1 : len(format)-1]
+	}
+	argIdx := 1
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision; '*' consumes an argument.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[i])) {
+			if format[i] == '*' {
+				argIdx++
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		if argIdx >= len(call.Args) {
+			break
+		}
+		arg := call.Args[argIdx]
+		argIdx++
+		if verb != 's' && verb != 'v' {
+			continue
+		}
+		if isStringType(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "unquoted string interpolated into cache/singleflight key with %%%c; use %%q so a value containing the separator cannot collide keys",
+				verb)
+		}
+	}
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// checkConcat reports key-named assignments built by concatenating
+// non-constant, non-strconv.Quote string operands.
+func checkConcat(pass *lintkit.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !strings.Contains(strings.ToLower(id.Name), "key") {
+			continue
+		}
+		if i >= len(as.Rhs) {
+			break
+		}
+		bin, ok := ast.Unparen(as.Rhs[i]).(*ast.BinaryExpr)
+		if !ok || bin.Op.String() != "+" {
+			continue
+		}
+		for _, op := range concatOperands(bin) {
+			if tv, ok := pass.TypesInfo.Types[op]; ok && tv.Value != nil {
+				continue // literal separators are fine
+			}
+			if isQuoteCall(pass, op) {
+				continue
+			}
+			if isStringType(pass.TypesInfo.TypeOf(op)) {
+				pass.Reportf(op.Pos(), "cache key built by concatenating an unquoted value; use fmt.Sprintf with %%q (or strconv.Quote)")
+			}
+		}
+	}
+}
+
+func concatOperands(bin *ast.BinaryExpr) []ast.Expr {
+	var out []ast.Expr
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && b.Op.String() == "+" {
+			walk(b.X)
+			walk(b.Y)
+			return
+		}
+		out = append(out, e)
+	}
+	walk(bin)
+	return out
+}
+
+func isQuoteCall(pass *lintkit.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "strconv":
+		return obj.Name() == "Quote"
+	case "fmt":
+		return obj.Name() == "Sprintf"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"provpriv/internal/analysis/cachekey"
+	"provpriv/internal/analysis/lintkit/linttest"
+)
+
+func TestCacheKey(t *testing.T) {
+	linttest.Run(t, cachekey.Analyzer, "a")
+}

@@ -1,0 +1,66 @@
+package a
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type group struct{}
+
+func (g *group) Do(key string, fn func() (any, error)) (any, error) {
+	_ = key
+	_ = fn
+	return nil, nil
+}
+
+type cache struct{}
+
+func (c *cache) Get(group, key string) (any, bool) {
+	_, _ = group, key
+	return nil, false
+}
+
+func (c *cache) Put(group, key string, v any) {
+	_, _, _ = group, key, v
+}
+
+func quoted(g *group, c *cache, spec, exec string, level int) {
+	_, _ = g.Do(fmt.Sprintf("masked|%q|%q|%d", spec, exec, level), nil)
+	key := fmt.Sprintf("view|%q|%d", spec, level)
+	c.Put("views", key, 1)
+}
+
+func unquoted(g *group, c *cache, spec, exec string) {
+	_, _ = g.Do(fmt.Sprintf("masked|%s|%q", spec, exec), nil) // want "unquoted string interpolated into cache/singleflight key with %s"
+	cacheKey := fmt.Sprintf("search|%v|%d", spec, 1)          // want "unquoted string interpolated into cache/singleflight key with %v"
+	c.Put("results", fmt.Sprintf("r|%s", exec), 1)            // want "unquoted string"
+	_ = cacheKey
+}
+
+// Non-key formatting is out of scope: error text interpolates freely.
+func message(spec string) string {
+	return fmt.Sprintf("spec %s not found", spec)
+}
+
+// Integers cannot contain the separator; %v on them is fine.
+func intKey(level int, spec string) string {
+	key := fmt.Sprintf("taint|%v|%q", level, spec)
+	return key
+}
+
+func concatenated(spec, exec string) string {
+	key := spec + "|" + exec // want "concatenating an unquoted value" "concatenating an unquoted value"
+	return key
+}
+
+// strconv.Quote (or a nested quoted Sprintf) makes concatenation safe.
+func quotedConcat(spec string) string {
+	key := "view|" + strconv.Quote(spec)
+	return key
+}
+
+func annotated(name, labels string) string {
+	//provlint:ignore cachekey series identity is the canonical exposition form, not wire-writable
+	seriesKey := name + "{" + labels + "}"
+	return seriesKey
+}

@@ -1,0 +1,155 @@
+// Package ctxflow enforces context threading on request paths.
+//
+// PR 7 threaded context.Context through the repository fan-out
+// (SearchPageCtx, QueryAllPageCtx, ProvenanceWithCtx) so HTTP handlers
+// could abort work when clients disconnect; the whole chain is only as
+// good as its weakest link — one callee that quietly swaps in
+// context.Background() detaches everything below it from cancellation
+// and deadlines.
+//
+// Two checks, applied to every package:
+//
+//  1. detach: calling context.Background() or context.TODO() anywhere
+//     inside a function that already receives a context.Context
+//     (including closures defined in it, which capture the ctx) is
+//     reported. Compatibility wrappers that do not take a context —
+//     repo.Search delegating to SearchPageCtx — are untouched.
+//     Deliberate detachment (a background task outliving the request)
+//     uses //provlint:ignore ctxflow <reason>.
+//  2. dropped: a named context parameter that is never used while the
+//     body calls at least one context-accepting function means the
+//     context was dropped on the floor; the callee runs uncancelable.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"provpriv/internal/analysis/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "ctxflow",
+	Doc: "functions receiving a context.Context must thread it: no context.Background()/TODO() " +
+		"below the handler layer, and a ctx parameter must not be unused while ctx-accepting callees run detached",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParams returns the objects of all context.Context parameters.
+func ctxParams(pass *lintkit.Pass, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !isCtxType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func checkFunc(pass *lintkit.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	params := ctxParams(pass, ft)
+	if len(params) == 0 {
+		return
+	}
+
+	used := false
+	callsCtxCallee := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal that declares its own context parameter
+			// is a fresh scope, handled by its own checkFunc visit; one
+			// that does not still captures ours, so keep walking.
+			if len(ctxParams(pass, x.Type)) > 0 {
+				return false
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				for _, p := range params {
+					if obj == p {
+						used = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name := detachCall(pass, x); name != "" {
+				pass.Reportf(x.Pos(), "context.%s() inside a function that receives a context.Context; thread the caller's ctx instead of detaching",
+					name)
+			}
+			if sig := calleeSignature(pass, x); sig != nil && sig.Params().Len() > 0 && isCtxType(sig.Params().At(0).Type()) {
+				callsCtxCallee = true
+			}
+		}
+		return true
+	})
+
+	if !used && callsCtxCallee {
+		for _, p := range params {
+			if p.Name() == "_" || p.Name() == "" {
+				continue
+			}
+			pass.Reportf(p.Pos(), "context parameter %s is never used, but the body calls context-accepting functions; thread it or rename it _ with a provlint:ignore",
+				p.Name())
+		}
+	}
+}
+
+// detachCall reports "Background" or "TODO" when call is
+// context.Background() / context.TODO(), else "".
+func detachCall(pass *lintkit.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}
+
+func calleeSignature(pass *lintkit.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"provpriv/internal/analysis/ctxflow"
+	"provpriv/internal/analysis/lintkit/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "a")
+}

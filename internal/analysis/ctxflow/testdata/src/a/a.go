@@ -1,0 +1,72 @@
+package a
+
+import "context"
+
+func fetch(ctx context.Context, id string) error {
+	_ = ctx
+	_ = id
+	return nil
+}
+
+func plain(id string) error {
+	_ = id
+	return nil
+}
+
+func good(ctx context.Context, id string) error {
+	return fetch(ctx, id)
+}
+
+// Compatibility wrappers take no context, so detaching is their job.
+func wrapper(id string) error {
+	return fetch(context.Background(), id)
+}
+
+func detach(ctx context.Context, id string) error {
+	_ = ctx.Err()
+	return fetch(context.Background(), id) // want "context.Background\\(\\) inside a function that receives a context.Context"
+}
+
+func todo(ctx context.Context, id string) error {
+	_ = ctx.Err()
+	return fetch(context.TODO(), id) // want "context.TODO\\(\\) inside a function that receives a context.Context"
+}
+
+func dropped(ctx context.Context, id string) error { // want "context parameter ctx is never used"
+	return fetch(nil, id)
+}
+
+// No context-accepting callee: an unused ctx is interface conformance,
+// not a dropped thread.
+func conformance(ctx context.Context, id string) error {
+	return plain(id)
+}
+
+// Closures capture the enclosing context; detaching inside one is
+// still detaching.
+func closure(ctx context.Context, id string) error {
+	_ = ctx.Err()
+	run := func() error {
+		return fetch(context.Background(), id) // want "context.Background"
+	}
+	return run()
+}
+
+// A literal with its own context parameter is a fresh scope — checked
+// on its own, not double-reported through the enclosing function.
+func ownScope(ctx context.Context) func(context.Context) error {
+	_ = ctx.Err()
+	return func(inner context.Context) error {
+		_ = inner.Err()
+		return fetch(context.Background(), "x") // want "context.Background"
+	}
+}
+
+func spawn(ctx context.Context, id string) error {
+	_ = ctx
+	go func() {
+		//provlint:ignore ctxflow background job detaches deliberately
+		_ = fetch(context.Background(), id)
+	}()
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package envelope keeps HTTP error responses on the uniform JSON
+// envelope.
+//
+// Every failure leaving internal/server is a JSON errorBody carrying
+// the error text and the request id (PR 8), written via
+// Server.writeJSON / Server.fail — that shape is load-bearing: clients
+// parse it, the e2e smoke test asserts it, and audit outcomes are
+// derived from the status it carries. A stray http.Error or naked
+// WriteHeader silently forks the protocol (text/plain body, no
+// request id, no envelope).
+//
+// The check applies to packages named "server": calls to http.Error /
+// http.NotFound are reported, as is any direct WriteHeader call
+// outside the envelope writer itself (writeJSON) or a
+// ResponseWriter-wrapper method that is itself named WriteHeader
+// (e.g. the audit status recorder forwarding to the wrapped writer).
+package envelope
+
+import (
+	"go/ast"
+
+	"provpriv/internal/analysis/lintkit"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "envelope",
+	Doc: "server handlers must emit errors through the uniform JSON envelope helpers " +
+		"(writeJSON/fail), never http.Error, http.NotFound or a naked WriteHeader",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if pass.Pkg.Name() != "server" {
+		return nil
+	}
+	lintkit.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+			switch obj.Name() {
+			case "Error", "NotFound":
+				pass.Reportf(call.Pos(), "http.%s writes a text/plain error outside the JSON envelope; use s.fail or s.writeJSON",
+					obj.Name())
+				return
+			}
+		}
+		if sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 && !allowedWriter(stack) {
+			pass.Reportf(call.Pos(), "naked WriteHeader bypasses the uniform JSON error envelope; use s.writeJSON or s.fail")
+		}
+	})
+	return nil
+}
+
+// allowedWriter reports whether the enclosing function is the envelope
+// writer itself or a ResponseWriter wrapper forwarding WriteHeader.
+func allowedWriter(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Name.Name == "writeJSON" || fn.Name.Name == "WriteHeader"
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}

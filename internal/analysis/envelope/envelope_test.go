@@ -1,0 +1,19 @@
+package envelope_test
+
+import (
+	"testing"
+
+	"provpriv/internal/analysis/envelope"
+	"provpriv/internal/analysis/lintkit/linttest"
+)
+
+func TestEnvelope(t *testing.T) {
+	linttest.Run(t, envelope.Analyzer, "server")
+}
+
+// TestOtherPackagesExempt pins the gate: the envelope contract binds
+// internal/server only; other packages write headers freely (obs
+// middleware, stdlib-style helpers).
+func TestOtherPackagesExempt(t *testing.T) {
+	linttest.Run(t, envelope.Analyzer, "other")
+}

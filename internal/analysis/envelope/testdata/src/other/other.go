@@ -1,0 +1,10 @@
+package other
+
+import "net/http"
+
+// A non-"server" package writing raw statuses is out of the envelope
+// contract's scope: no diagnostics expected anywhere in this file.
+func raw(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r)
+	w.WriteHeader(http.StatusInternalServerError)
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+type Server struct{}
+
+// writeJSON is the envelope writer; its own WriteHeader is the one
+// sanctioned call site.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) good(w http.ResponseWriter) {
+	s.writeJSON(w, http.StatusNotFound, errorBody{Error: "not found"})
+}
+
+func (s *Server) bad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest)  // want "http.Error writes a text/plain error outside the JSON envelope"
+	http.NotFound(w, r)                           // want "http.NotFound writes a text/plain error outside the JSON envelope"
+	w.WriteHeader(http.StatusInternalServerError) // want "naked WriteHeader bypasses the uniform JSON error envelope"
+}
+
+func (s *Server) badInClosure(w http.ResponseWriter) {
+	fail := func() {
+		w.WriteHeader(http.StatusTeapot) // want "naked WriteHeader"
+	}
+	fail()
+}
+
+// statusRecorder is a ResponseWriter wrapper; its forwarding
+// WriteHeader is allowed.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) camouflage(w http.ResponseWriter, r *http.Request) {
+	//provlint:ignore envelope must byte-match the mux default 404 for a hidden surface
+	http.NotFound(w, r)
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"provpriv/internal/analysis/lintkit/linttest"
+	"provpriv/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "a")
+}

@@ -1,0 +1,76 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"provpriv/internal/analysis"
+)
+
+// moduleRoot resolves the repository root through the go tool, so the
+// meta-test works from any package directory or test binary cwd.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(bytes.ToValidUTF8(out, nil)))
+}
+
+// TestProvlintCleanTree runs the full analyzer suite over the real
+// repository in-process and requires zero findings — the same gate
+// cmd/provlint enforces in CI, but wired into `go test ./...` so an
+// invariant regression fails the ordinary test run too, not just the
+// lint job.
+func TestProvlintCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole tree; skipped in -short")
+	}
+	res, err := analysis.RunTree(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("provlint run failed: %v", err)
+	}
+	if res.Packages == 0 {
+		t.Fatal("loaded zero packages — pattern or loader regression")
+	}
+	for _, f := range res.Findings {
+		t.Errorf("provlint: %s", f)
+	}
+	if len(res.Findings) > 0 {
+		t.Log("fix the violation or add //provlint:ignore <check> <reason> with a justification")
+	}
+}
+
+// TestBenchLintJSON renders analyzer wall times as machine-readable
+// JSON for CI's perf-trajectory artifact, same contract as the
+// storage/tasks/obs/limits bench tests. Gated on BENCH_JSON naming the
+// output path; a no-op otherwise.
+func TestBenchLintJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("BENCH_JSON not set")
+	}
+	res, err := analysis.RunTree(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := map[string]any{
+		"packages":     res.Packages,
+		"load_wall_ms": float64(res.LoadWall.Nanoseconds()) / 1e6,
+		"checks":       res.Timings,
+		"findings":     len(res.Findings),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", out, data)
+}

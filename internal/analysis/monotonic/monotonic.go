@@ -1,0 +1,168 @@
+// Package monotonic guards the counters behind the /metrics *_total
+// series. The exposition contract (enforced at runtime by
+// obs.ValidateExposition and the server monotonicity test) is that a
+// _total series never decreases; PR 2's review found counters that
+// reset when an LRU was swapped out or a shard removed, and the fix —
+// banked *Base fields that only ever absorb final values — works only
+// if every future write site keeps the discipline.
+//
+// The check is declaration-driven: a struct field whose doc or line
+// comment contains the marker
+//
+//	provlint:counter
+//
+// is a monotone counter. Marked fields may only be written through
+// atomic Add with a provably non-negative delta. Store, Swap,
+// CompareAndSwap, direct assignment, -=, -- and Add of a negative or
+// negated value are reported. Gauges (in-flight counts, sampling
+// knobs) simply carry no marker.
+package monotonic
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"provpriv/internal/analysis/lintkit"
+)
+
+const marker = "provlint:counter"
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "monotonic",
+	Doc: "fields marked provlint:counter feed monotone /metrics *_total series and may only be " +
+		"atomic.Add-ed with non-negative deltas — never Stored, Swapped, assigned or decremented",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	counters := markedFields(pass)
+	if len(counters) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, counters, x)
+			case *ast.AssignStmt:
+				checkAssign(pass, counters, x)
+			case *ast.IncDecStmt:
+				if isCounterExpr(pass, counters, x.X) && x.Tok.String() == "--" {
+					pass.Reportf(x.Pos(), "decrement of monotone counter %s", types.ExprString(x.X))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// markedFields collects the field objects whose declarations carry the
+// provlint:counter marker.
+func markedFields(pass *lintkit.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasMarker(field.Doc) && !hasMarker(field.Comment) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	return strings.Contains(cg.Text(), marker) || strings.Contains(rawText(cg), marker)
+}
+
+// rawText preserves directive-style comments (//provlint:counter)
+// that CommentGroup.Text strips.
+func rawText(cg *ast.CommentGroup) string {
+	var b strings.Builder
+	for _, c := range cg.List {
+		b.WriteString(c.Text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// isCounterExpr reports whether expr selects a marked counter field,
+// seeing through indexing (h.counts[i] on a bucket array).
+func isCounterExpr(pass *lintkit.Pass, counters map[types.Object]bool, expr ast.Expr) bool {
+	if idx, ok := ast.Unparen(expr).(*ast.IndexExpr); ok {
+		expr = idx.X
+	}
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		return counters[s.Obj()]
+	}
+	return counters[pass.TypesInfo.Uses[sel.Sel]]
+}
+
+func checkCall(pass *lintkit.Pass, counters map[types.Object]bool, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isCounterExpr(pass, counters, sel.X) {
+		return
+	}
+	name := types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap":
+		pass.Reportf(call.Pos(), "%s on monotone counter %s; counters feeding *_total series may only grow via Add with a non-negative delta",
+			sel.Sel.Name, name)
+	case "Add":
+		if len(call.Args) != 1 {
+			return
+		}
+		arg := call.Args[0]
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+			if constant.Sign(tv.Value) < 0 {
+				pass.Reportf(call.Pos(), "Add of negative delta %s on monotone counter %s", tv.Value, name)
+			}
+			return
+		}
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op.String() == "-" {
+			pass.Reportf(call.Pos(), "Add of negated value on monotone counter %s", name)
+		}
+	}
+}
+
+func checkAssign(pass *lintkit.Pass, counters map[types.Object]bool, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if !isCounterExpr(pass, counters, lhs) {
+			continue
+		}
+		name := types.ExprString(lhs)
+		switch as.Tok.String() {
+		case "=":
+			pass.Reportf(as.Pos(), "direct assignment to monotone counter %s; use atomic Add", name)
+		case "-=":
+			pass.Reportf(as.Pos(), "subtraction from monotone counter %s", name)
+		case "+=":
+			if i < len(as.Rhs) {
+				if tv, ok := pass.TypesInfo.Types[as.Rhs[i]]; ok && tv.Value != nil && constant.Sign(tv.Value) < 0 {
+					pass.Reportf(as.Pos(), "negative increment of monotone counter %s", name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package monotonic_test
+
+import (
+	"testing"
+
+	"provpriv/internal/analysis/lintkit/linttest"
+	"provpriv/internal/analysis/monotonic"
+)
+
+func TestMonotonic(t *testing.T) {
+	linttest.Run(t, monotonic.Analyzer, "a")
+}

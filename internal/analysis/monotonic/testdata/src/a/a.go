@@ -1,0 +1,44 @@
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits  atomic.Int64 //provlint:counter
+	gauge atomic.Int64 // unmarked: free to move both ways
+
+	// plain is a non-atomic counter guarded elsewhere.
+	//provlint:counter
+	plain int64
+
+	buckets [4]atomic.Int64 //provlint:counter
+}
+
+func (s *stats) allowed(n int64) {
+	s.hits.Add(1)
+	if n >= 0 {
+		s.hits.Add(n) // runtime-checked non-negative deltas pass
+	}
+	s.gauge.Store(5)
+	s.gauge.Add(-1)
+	s.plain++
+	s.plain += 2
+	s.buckets[2].Add(1)
+}
+
+func (s *stats) violations(n int64) {
+	s.hits.Store(3)             // want "Store on monotone counter s.hits"
+	s.hits.Add(-1)              // want "Add of negative delta -1 on monotone counter s.hits"
+	s.hits.Add(-n)              // want "Add of negated value on monotone counter s.hits"
+	s.hits.Swap(0)              // want "Swap on monotone counter s.hits"
+	s.hits.CompareAndSwap(0, 1) // want "CompareAndSwap on monotone counter s.hits"
+	s.buckets[1].Store(2)       // want "Store on monotone counter"
+	s.plain = 9                 // want "direct assignment to monotone counter s.plain"
+	s.plain -= 2                // want "subtraction from monotone counter s.plain"
+	s.plain--                   // want "decrement of monotone counter s.plain"
+	s.plain += -3               // want "negative increment of monotone counter s.plain"
+}
+
+func (s *stats) annotatedReset() {
+	//provlint:ignore monotonic deterministic-harness reset, never runs in production
+	s.hits.Store(0)
+}

@@ -23,8 +23,8 @@ type LRU[K comparable, V any] struct {
 	ttl      time.Duration // 0 = entries never expire
 	entries  map[K]*lruEntry[V]
 	clock    atomic.Int64
-	hits     atomic.Int64
-	misses   atomic.Int64
+	hits     atomic.Int64 //provlint:counter
+	misses   atomic.Int64 //provlint:counter
 	// now is stubbed by tests to drive TTL expiry deterministically.
 	now func() time.Time
 }

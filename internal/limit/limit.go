@@ -133,9 +133,9 @@ type bucket struct {
 	inflight atomic.Int64
 	lastUsed atomic.Int64 // unix nanos, for LRU eviction
 
-	allowed      atomic.Int64
-	rejectedRate atomic.Int64
-	rejectedConc atomic.Int64
+	allowed      atomic.Int64 //provlint:counter
+	rejectedRate atomic.Int64 //provlint:counter
+	rejectedConc atomic.Int64 //provlint:counter
 }
 
 // Limiter is the admission controller. Safe for arbitrary concurrency.
@@ -148,11 +148,11 @@ type Limiter struct {
 
 	global atomic.Int64
 
-	allowed     atomic.Int64
-	rejRate     atomic.Int64
-	rejConc     atomic.Int64
-	rejOverload atomic.Int64
-	evictions   atomic.Int64
+	allowed     atomic.Int64 //provlint:counter
+	rejRate     atomic.Int64 //provlint:counter
+	rejConc     atomic.Int64 //provlint:counter
+	rejOverload atomic.Int64 //provlint:counter
+	evictions   atomic.Int64 //provlint:counter
 }
 
 // New builds a Limiter.

@@ -189,6 +189,9 @@ func ExpositionSeries(data []byte) (map[string]float64, error) {
 		}
 		key := name
 		if labels != "" {
+			// The exposition parser's series identity is the canonical
+			// Prometheus textual form; quoting would fork the format.
+			//provlint:ignore cachekey series identity is name{labels} verbatim, values come from our own exposition not the wire
 			key = name + "{" + labels + "}"
 		}
 		out[key] = val

@@ -21,7 +21,7 @@ var statusClasses = [...]string{"0xx", "1xx", "2xx", "3xx", "4xx", "5xx"}
 // counter) plus a response-byte counter.
 type routeMetrics struct {
 	classes [len(statusClasses)]Histogram
-	bytes   atomic.Int64
+	bytes   atomic.Int64 //provlint:counter
 }
 
 // taskMetrics is the per-task-class slot: how long tasks waited for a
@@ -45,8 +45,8 @@ type Metrics struct {
 	tasks  map[string]*taskMetrics
 
 	inflight atomic.Int64
-	panics   atomic.Int64
-	slow     atomic.Int64
+	panics   atomic.Int64 //provlint:counter
+	slow     atomic.Int64 //provlint:counter
 }
 
 // NewMetrics returns an empty registry.

@@ -233,7 +233,11 @@ func searchInternal(spec *workflow.Spec, query [][]string, accessView workflow.P
 	// Report every match visible in the final view; invisible finer
 	// matches zoom out to their visible ancestor composite.
 	res := &Result{View: view, Prefix: prefix, ZoomedOut: zoomed}
-	seen := make(map[string]bool)
+	// Composite dedup key as a struct, not a "|"-joined string: module
+	// IDs are wire-writable, and an ID containing the separator could
+	// alias two distinct matches into one (provlint cachekey).
+	type matchKey struct{ phrase, module, zoomedTo string }
+	seen := make(map[matchKey]bool)
 	for _, ps := range states {
 		name := strings.Join(ps.phrase, " ")
 		for _, rm := range ps.matches {
@@ -245,7 +249,7 @@ func searchInternal(spec *workflow.Spec, query [][]string, accessView workflow.P
 				}
 				match.ZoomedTo = anc
 			}
-			key := name + "|" + match.ModuleID + "|" + match.ZoomedTo
+			key := matchKey{phrase: name, module: match.ModuleID, zoomedTo: match.ZoomedTo}
 			if !seen[key] {
 				seen[key] = true
 				res.Matches = append(res.Matches, match)

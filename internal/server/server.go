@@ -196,13 +196,13 @@ type Server struct {
 	// mutations counts successful mutation-endpoint requests;
 	// authFailures counts rejected authentications and authorization
 	// denials (both exported via /metrics and /stats).
-	mutations    atomic.Int64
-	authFailures atomic.Int64
+	mutations    atomic.Int64 //provlint:counter
+	authFailures atomic.Int64 //provlint:counter
 	// shedDraining counts requests refused with 503 because the server
 	// was draining; auditErrors counts mutations whose audit append
 	// failed (the mutation itself still completed — see audited).
-	shedDraining atomic.Int64
-	auditErrors  atomic.Int64
+	shedDraining atomic.Int64 //provlint:counter
+	auditErrors  atomic.Int64 //provlint:counter
 	// compactTask remembers the last submitted compaction task id so a
 	// save burst enqueues one pass, not one per save.
 	compactTask atomic.Value
@@ -579,6 +579,7 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request, user 
 // Disabled servers 404 so the surface is indistinguishable from absent.
 func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request, user string) {
 	if !s.EnablePprof {
+		//provlint:ignore envelope must byte-match the mux's default 404 so a disabled pprof surface is indistinguishable from absent
 		http.NotFound(w, r)
 		return
 	}

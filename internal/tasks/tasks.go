@@ -348,12 +348,12 @@ type Runtime struct {
 
 	wg sync.WaitGroup
 
-	submitted atomic.Int64
-	started   atomic.Int64
-	retries   atomic.Int64
-	succeeded atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
+	submitted atomic.Int64 //provlint:counter
+	started   atomic.Int64 //provlint:counter
+	retries   atomic.Int64 //provlint:counter
+	succeeded atomic.Int64 //provlint:counter
+	failed    atomic.Int64 //provlint:counter
+	canceled  atomic.Int64 //provlint:counter
 	running   atomic.Int64
 
 	observe   atomic.Pointer[ObserveFunc]
